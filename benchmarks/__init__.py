@@ -1,0 +1,6 @@
+"""Benchmark package: one module per paper figure plus ablations.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Reports are written to
+``benchmarks/results/``; set ``REPRO_BENCH_SCALE=1.0`` to rerun the §4.1
+scenario at the paper's full 800-second duration.
+"""

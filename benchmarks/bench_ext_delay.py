@@ -1,0 +1,56 @@
+"""EXT-DELAY — the latency side of incipient congestion control.
+
+The paper's §3.1 throttles on *incipient* congestion "before queues
+become full and packets are dropped".  Besides the loss numbers, that
+design choice has a delay consequence the paper does not quantify:
+Corelite's standing queues hover near ``qthresh`` (8 pkt), while CSFQ —
+which signals by dropping — rides its buffers much closer to the 40-pkt
+ceiling.  This bench measures per-flow one-way delays for both schemes on
+the §4.2 workload.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.experiments.figures import figure5_6
+from repro.experiments.report import format_table
+
+DURATION = 80.0
+PROPAGATION = 0.120  # 3 hops x 40 ms
+
+
+@pytest.mark.benchmark(group="ext")
+def test_delay_under_incipient_vs_drop_based_control(benchmark, write_report):
+    cmp = once(benchmark, lambda: figure5_6(duration=DURATION, seed=0))
+
+    rows = []
+    means = {}
+    p95s = {}
+    for name, result in cmp.schemes():
+        flow_means = [result.flows[f].delay["mean"] for f in result.flow_ids]
+        flow_p95s = [result.flows[f].delay["p95"] for f in result.flow_ids]
+        means[name] = sum(flow_means) / len(flow_means)
+        p95s[name] = max(flow_p95s)
+        rows.append([
+            name, means[name] * 1e3, min(flow_means) * 1e3,
+            max(flow_means) * 1e3, p95s[name] * 1e3,
+        ])
+    table = format_table(
+        ["scheme", "mean ms", "best flow ms", "worst flow ms", "worst p95 ms"],
+        rows, float_format="{:.1f}",
+    )
+
+    # Both sit above pure propagation (120 ms) — there is a real queue...
+    for name in ("corelite", "csfq"):
+        assert means[name] > PROPAGATION
+    # ...but Corelite's stays well under the full-buffer worst case
+    # (120 + 80 ms), and clearly under CSFQ's.
+    assert means["corelite"] < PROPAGATION + 0.045
+    assert means["corelite"] < means["csfq"] - 0.015
+    assert p95s["corelite"] <= p95s["csfq"]
+
+    write_report(
+        "ext_delay",
+        "EXT-DELAY — one-way delays, §4.2 workload "
+        f"(propagation alone = {PROPAGATION * 1e3:.0f} ms)\n" + table,
+    )

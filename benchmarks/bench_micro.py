@@ -1,0 +1,92 @@
+"""MICRO — component micro-benchmarks.
+
+Not paper figures: these measure the substrate itself (event-loop
+throughput, link forwarding, the CSFQ estimator, the max-min solver) so
+performance regressions in the simulator are caught independently of the
+scenario benches.
+"""
+
+import random
+
+import pytest
+
+from repro.csfq.estimator import ExponentialRateEstimator
+from repro.fairness.maxmin import FlowDemand, weighted_maxmin
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.node import Node
+from repro.sim.packet import Packet
+from repro.sim.queues import DropTailQueue
+
+
+@pytest.mark.benchmark(group="micro")
+def test_event_loop_throughput(benchmark):
+    """Schedule-and-run 100k chained events."""
+
+    def run():
+        sim = Simulator()
+        remaining = [100_000]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.001, tick)
+        sim.run()
+        return sim.events_executed
+
+    events = benchmark(run)
+    assert events == 100_000
+
+
+@pytest.mark.benchmark(group="micro")
+def test_link_forwarding_throughput(benchmark):
+    """Push 20k packets through one link."""
+
+    class Sink(Node):
+        def __init__(self):
+            super().__init__("B")
+            self.count = 0
+
+        def receive(self, packet, link):
+            self.count += 1
+
+    def run():
+        sim = Simulator()
+        sink = Sink()
+        link = Link(sim, "A->B", "A", sink, 1e6, 0.001, DropTailQueue(30_000))
+        for i in range(20_000):
+            link.send(Packet.data(1, "A", "B", seq=i, now=0.0))
+        sim.run()
+        return sink.count
+
+    assert benchmark(run) == 20_000
+
+
+@pytest.mark.benchmark(group="micro")
+def test_rate_estimator_updates(benchmark):
+    def run():
+        est = ExponentialRateEstimator(k=0.1)
+        t = 0.0
+        for _ in range(50_000):
+            t += 0.002
+            est.update(t, 1.0)
+        return est.rate
+
+    rate = benchmark(run)
+    assert rate == pytest.approx(500.0, rel=0.05)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_maxmin_solver(benchmark):
+    rng = random.Random(0)
+    links = {f"L{i}": rng.uniform(100, 1000) for i in range(20)}
+    names = sorted(links)
+    flows = [
+        FlowDemand(i, rng.uniform(0.5, 5.0), tuple(rng.sample(names, rng.randint(1, 6))))
+        for i in range(200)
+    ]
+
+    alloc = benchmark(lambda: weighted_maxmin(links, flows))
+    assert len(alloc) == 200

@@ -1,0 +1,66 @@
+"""REPL — cross-seed stability of the headline results.
+
+Single-seed benches could be flattered by luck.  This bench replays the
+§4.2 startup comparison under several seeds and asserts the *claims*
+(weighted fairness, Corelite's loss advantage, convergence ordering) hold
+in every replicate, with tight spread.
+"""
+
+import statistics
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.experiments.figures import figure5_6
+from repro.experiments.replication import replicate
+from repro.experiments.report import format_table
+from repro.fairness.metrics import convergence_time, weighted_jain_index
+
+SEEDS = (0, 1, 2, 3, 4)
+DURATION = 60.0
+
+
+def _metrics(seed: int) -> dict:
+    cmp = figure5_6(duration=DURATION, seed=seed)
+    window = (0.75 * DURATION, DURATION)
+    out = {}
+    for name, result in cmp.schemes():
+        rates = result.mean_rates(window)
+        weights = result.weights()
+        ids = sorted(rates)
+        out[f"{name}_jain"] = weighted_jain_index(
+            [rates[f] for f in ids], [weights[f] for f in ids]
+        )
+        out[f"{name}_losses"] = result.total_losses()
+        settle = [
+            convergence_time(result.flows[f].rate_series, cmp.expected[f],
+                             tolerance=0.3, hold=10.0)
+            for f in result.flow_ids
+        ]
+        settled = [t for t in settle if t is not None]
+        out[f"{name}_convergence"] = statistics.mean(settled) if settled else 1e9
+    return out
+
+
+@pytest.mark.benchmark(group="replication")
+def test_headline_results_hold_across_seeds(benchmark, write_report):
+    summaries = once(benchmark, lambda: replicate(_metrics, seeds=SEEDS))
+
+    table = format_table(
+        ["metric", "mean", "stdev", "lo", "hi"],
+        [
+            [s.name, s.mean, s.stdev, s.lo, s.hi]
+            for s in summaries.values()
+        ],
+        float_format="{:.3f}",
+    )
+
+    # Weighted fairness in every replicate, for both schemes.
+    assert summaries["corelite_jain"].lo > 0.99
+    assert summaries["csfq_jain"].lo > 0.99
+    # Corelite's loss advantage holds in the worst replicate.
+    assert summaries["corelite_losses"].hi * 5 < summaries["csfq_losses"].lo
+    # Convergence ordering holds on average with a wide margin.
+    assert summaries["corelite_convergence"].hi < summaries["csfq_convergence"].lo
+
+    write_report("replication", f"REPL — {len(SEEDS)} seeds\n" + table)

@@ -1,0 +1,124 @@
+"""STATE — the core-stateless thesis, measured (paper §1).
+
+"High speed routers in the core of backbone networks typically serve
+hundreds of thousands of flows simultaneously", so Intserv's per-flow
+state "is not a scalable solution".  This bench runs the same
+single-bottleneck workload with growing flow counts under four designs
+and records the *peak per-flow state at the bottleneck router*:
+
+* Corelite (selective): two scalars per link, zero flow entries — O(1);
+* weighted CSFQ: per-link aggregates only — O(1);
+* WFQ at the core: finish tags + backlogs for every buffered flow — O(n);
+* FRED at the core: entries for every buffered flow — O(n).
+
+(Corelite's marker-cache variant is also measured: its history is bounded
+by a config constant, independent of the flow count.)
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.aqm.fred import FredQueue
+from repro.aqm.wfq import WfqQueue
+from repro.core.config import CoreliteConfig, FeedbackScheme
+from repro.experiments.network import CoreliteNetwork, CsfqNetwork, FifoLossNetwork
+from repro.experiments.report import format_table
+from repro.experiments.scenarios import startup_flows
+
+FLOW_COUNTS = (4, 8, 16, 32)
+DURATION = 30.0
+
+
+def _weight(fid: int) -> float:
+    return float(math.ceil(fid / 2))
+
+
+def _peak_state(net, tracker) -> int:
+    peak = [0]
+    net.finalize()
+    net.sim.every(0.05, lambda: peak.__setitem__(0, max(peak[0], tracker())))
+    return peak
+
+
+def _run_corelite(n: int, scheme: FeedbackScheme) -> int:
+    net = CoreliteNetwork.single_bottleneck(
+        seed=0, config=CoreliteConfig(feedback_scheme=scheme)
+    )
+    net.add_flows(startup_flows(n))
+    core = net.core_router("C1")
+    peak = _peak_state(net, core.flow_state_entries)
+    net.run(until=DURATION)
+    return peak[0]
+
+
+def _run_csfq(n: int) -> int:
+    net = CsfqNetwork.single_bottleneck(seed=0)
+    net.add_flows(startup_flows(n))
+    core = net.core_router("C1")
+    peak = _peak_state(net, core.flow_state_entries)
+    net.run(until=DURATION)
+    return peak[0]
+
+
+def _run_queue_based(n: int, factory_kind: str) -> int:
+    if factory_kind == "wfq":
+        def factory():
+            return WfqQueue(capacity=40.0, weight_of=_weight)
+    else:
+        def factory():
+            return FredQueue(capacity=40.0)
+    net = FifoLossNetwork.single_bottleneck(seed=0, queue_factory=factory)
+    net.add_flows(startup_flows(n))
+    net.finalize()
+    queue = net.topology.links["C1->C2"].queue
+    if factory_kind == "wfq":
+        tracker = lambda: queue.per_flow_state_size
+    else:
+        tracker = lambda: queue.active_flows
+    peak = [0]
+    net.sim.every(0.05, lambda: peak.__setitem__(0, max(peak[0], tracker())))
+    net.run(until=DURATION)
+    return peak[0]
+
+
+@pytest.mark.benchmark(group="state")
+def test_core_state_scaling(benchmark, write_report):
+    def sweep():
+        rows = {}
+        for n in FLOW_COUNTS:
+            rows[n] = {
+                "corelite-selective": _run_corelite(n, FeedbackScheme.SELECTIVE),
+                "corelite-cache": _run_corelite(n, FeedbackScheme.MARKER_CACHE),
+                "csfq": _run_csfq(n),
+                "wfq": _run_queue_based(n, "wfq"),
+                "fred": _run_queue_based(n, "fred"),
+            }
+        return rows
+
+    rows = once(benchmark, sweep)
+
+    schemes = ["corelite-selective", "corelite-cache", "csfq", "wfq", "fred"]
+    table = format_table(
+        ["flows"] + schemes,
+        [[n] + [rows[n][s] for s in schemes] for n in FLOW_COUNTS],
+    )
+
+    small, large = FLOW_COUNTS[0], FLOW_COUNTS[-1]
+    # O(1): flow-state does not grow with the flow count.
+    assert rows[large]["corelite-selective"] == rows[small]["corelite-selective"] == 0
+    assert rows[large]["csfq"] == rows[small]["csfq"] == 0
+    # The marker cache is bounded by its configured size, not flow count.
+    cache_bound = CoreliteConfig().marker_cache_size
+    assert rows[large]["corelite-cache"] <= 2 * cache_bound  # two enabled dirs
+    # O(n): the stateful disciplines track (almost) every active flow.
+    assert rows[large]["wfq"] >= 0.5 * large
+    assert rows[large]["wfq"] > 2 * rows[small]["wfq"] - 2
+    assert rows[large]["fred"] > rows[small]["fred"]
+
+    write_report(
+        "state_scaling",
+        "STATE — peak per-flow state entries at the bottleneck vs flow count\n"
+        + table,
+    )

@@ -1,0 +1,71 @@
+"""Shared benchmark fixtures.
+
+Every figure bench writes its paper-vs-measured report into
+``benchmarks/results/<name>.txt`` (in addition to asserting the paper's
+shape claims), so the reproduction evidence survives pytest's output
+capture.  Scale knobs honor the ``REPRO_BENCH_SCALE`` environment variable:
+1.0 reruns the paper's full durations, the default keeps the suite fast.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale(default: float = 0.25) -> float:
+    """Time-compression factor for the long (800 s) scenario."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", default))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def write_report(results_dir):
+    """Returns write(name, text): saves a report file and echoes to stdout."""
+
+    def write(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text, encoding="utf-8")
+        print(f"\n[report saved to {path}]\n{text}")
+
+    return write
+
+
+@pytest.fixture
+def save_figure_svg(results_dir):
+    """Returns save(name, result, title): renders a run's rate series as a
+    paper-like SVG chart next to the text reports."""
+    from repro.experiments.svg import save_series_svg
+
+    def save(name: str, result, title: str) -> None:
+        path = results_dir / f"{name}.svg"
+        save_series_svg(
+            str(path),
+            {
+                f"flow {fid} (w={result.flows[fid].weight:g})":
+                result.flows[fid].rate_series
+                for fid in result.flow_ids
+            },
+            title=title,
+        )
+        print(f"[figure saved to {path}]")
+
+    return save
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer and return its value.
+
+    Whole-simulation benches are deterministic and expensive; one round is
+    the measurement.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

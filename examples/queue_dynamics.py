@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Inside the bottleneck: queue dynamics under incipient-congestion control.
+
+The paper's §3.1 design goal is to throttle *before* queues fill: the
+core detects congestion at ``qthresh = 8`` packets of epoch-averaged
+occupancy, long before the 40-packet buffer.  This example runs six
+weighted flows into one bottleneck, records the bottleneck queue, and
+shows (a) the occupancy oscillating around the threshold rather than the
+buffer limit, and (b) the resulting one-way delays sitting near
+propagation + qthresh/mu instead of the bufferbloat worst case.
+
+Run:  python examples/queue_dynamics.py
+"""
+
+from repro import CoreliteNetwork, FlowSpec
+from repro.experiments.report import ascii_chart, format_table
+
+
+def main() -> None:
+    net = CoreliteNetwork.single_bottleneck(capacity_pps=500.0, seed=4)
+    for fid, weight in ((1, 1.0), (2, 1.0), (3, 2.0), (4, 2.0), (5, 3.0), (6, 3.0)):
+        net.add_flow(FlowSpec(flow_id=fid, weight=weight))
+
+    result = net.run(until=90.0, sample_interval=0.25, record_queues=True)
+
+    queue = result.queue_series["C1->C2"]
+    steady = queue.window(30.0, 90.0)
+    print("Bottleneck queue occupancy (capacity 40, qthresh 8):\n")
+    print(ascii_chart({"C1->C2 queue": queue}, y_max=40.0,
+                      title="queue occupancy (packets)"))
+    print(f"\nsteady-state mean occupancy: {steady.mean():.1f} packets "
+          f"(threshold 8, buffer 40)")
+    print(f"total drops: {result.total_drops}")
+
+    print("\nOne-way delays (propagation alone = 120 ms):")
+    rows = []
+    for fid in result.flow_ids:
+        d = result.flows[fid].delay
+        rows.append([
+            fid, result.flows[fid].weight, d["mean"] * 1e3,
+            (d["p95"] or 0.0) * 1e3, d["max"] * 1e3,
+        ])
+    print(format_table(
+        ["flow", "weight", "mean ms", "p95 ms", "max ms"], rows,
+        float_format="{:.1f}",
+    ))
+    print("\nA full 40-packet buffer would add 80 ms to every packet; "
+          "incipient-congestion feedback keeps the typical delay far below that.")
+
+
+if __name__ == "__main__":
+    main()

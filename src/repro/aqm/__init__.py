@@ -1,0 +1,17 @@
+"""Related-work queue disciplines (paper §5).
+
+The paper positions Corelite against classic active queue management:
+RED provides early congestion *detection* but "no fairness guarantees",
+and the DECbit scheme of Jain & Ramakrishnan marks packets when the
+cycle-averaged queue exceeds one.  Both are implemented here as drop-in
+replacements for the default drop-tail queue, used by the ABL-AQM
+ablation to demonstrate that congestion feedback alone — without
+Corelite's normalized-rate markers — does not produce *weighted* fairness.
+"""
+
+from repro.aqm.decbit import DecbitQueue
+from repro.aqm.fred import FredQueue
+from repro.aqm.red import RedQueue
+from repro.aqm.wfq import WfqQueue
+
+__all__ = ["RedQueue", "FredQueue", "DecbitQueue", "WfqQueue"]

@@ -1,0 +1,73 @@
+"""DECbit-style congestion indication (Jain & Ramakrishnan 1988; paper §5).
+
+The router computes the average queue length over the last busy+idle
+cycle plus the current busy period; when that average is at least one, it
+sets the congestion-indication bit (:attr:`repro.sim.packet.Packet.ecn`)
+on arriving packets.  Nothing is dropped early — only buffer overflow
+drops — so DECbit is a pure marking scheme, like Corelite's markers but
+with neither weighting nor per-flow proportionality.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.sim.packet import Packet
+from repro.sim.queues import FifoQueue
+
+__all__ = ["DecbitQueue"]
+
+
+class DecbitQueue(FifoQueue):
+    """A drop-tail queue that sets the ECN bit per the DECbit average."""
+
+    def __init__(self, capacity: float, mark_threshold: float = 1.0) -> None:
+        super().__init__(capacity)
+        if mark_threshold <= 0:
+            raise ConfigurationError(
+                f"mark_threshold must be positive, got {mark_threshold}"
+            )
+        self.mark_threshold = mark_threshold
+        # Cycle accounting: a cycle is one busy period + the following idle
+        # period.  We integrate queue length over the previous cycle and
+        # the current (possibly incomplete) busy period.
+        self._cycle_integral_prev = 0.0
+        self._cycle_span_prev = 0.0
+        self._cycle_integral_cur = 0.0
+        self._cycle_start = 0.0
+        self._last_change = 0.0
+        self._busy = False
+        self.marked = 0
+
+    def _integrate(self, now: float) -> None:
+        self._cycle_integral_cur += self._occupancy * (now - self._last_change)
+        self._last_change = now
+
+    def cycle_average(self, now: float) -> float:
+        """Average queue length over last cycle + current busy period."""
+        self._integrate(now)
+        span = (now - self._cycle_start) + self._cycle_span_prev
+        if span <= 0:
+            return float(self._occupancy)
+        return (self._cycle_integral_prev + self._cycle_integral_cur) / span
+
+    def admit(self, packet: Packet, now: float) -> bool:
+        if self._occupancy + packet.size > self.capacity:
+            return False
+        if not self._busy and self._occupancy == 0:
+            # A new busy period begins: the previous cycle (busy+idle) ends.
+            self._integrate(now)
+            self._cycle_integral_prev = self._cycle_integral_cur
+            self._cycle_span_prev = now - self._cycle_start
+            self._cycle_integral_cur = 0.0
+            self._cycle_start = now
+            self._busy = True
+        if self.cycle_average(now) >= self.mark_threshold:
+            packet.ecn = True
+            self.marked += 1
+        return True
+
+    def pop(self, now: float):
+        packet = super().pop(now)
+        if packet is not None and self._occupancy == 0:
+            self._busy = False  # idle period of the current cycle begins
+        return packet

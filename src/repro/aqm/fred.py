@@ -1,0 +1,154 @@
+"""Flow Random Early Drop (Lin & Morris, SIGCOMM'97; paper §5).
+
+FRED "extends RED to provide some degree of fair bandwidth allocation.
+However, it maintains state for all flows that have at least one packet
+in the buffer" — which is precisely what the paper contrasts Corelite's
+flow-stateless core against.  This implementation keeps the canonical
+mechanisms:
+
+* per-active-flow buffer counts ``qlen_i`` (state exists only while the
+  flow has packets queued — FRED's selling point and its scaling limit);
+* a guaranteed per-flow allowance ``minq``: flows buffering less than
+  ``max(minq, avgcq)`` packets are never probabilistically dropped, which
+  protects fragile (low-rate) flows from RED's proportional drops;
+* a per-flow cap ``maxq`` with a *strike* counter: flows that keep hitting
+  the cap are flagged non-adaptive and pinned to the average allowance;
+* RED-style averaging and probabilistic dropping for everything between.
+
+FRED approaches *equal* per-flow shares.  It has no notion of weights, so
+the ABL-AQM ablation shows it (like RED/DECbit) failing the paper's
+*weighted* fairness goal while beating plain RED on unweighted fairness.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.packet import Packet
+from repro.sim.queues import FifoQueue
+
+__all__ = ["FredQueue"]
+
+
+class FredQueue(FifoQueue):
+    """A FRED gateway queue (per-active-flow accounting)."""
+
+    def __init__(
+        self,
+        capacity: float,
+        min_thresh: float = 5.0,
+        max_thresh: float = 15.0,
+        max_prob: float = 0.1,
+        avg_weight: float = 0.002,
+        minq: float = 2.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__(capacity)
+        if not 0 < min_thresh < max_thresh <= capacity:
+            raise ConfigurationError(
+                f"need 0 < min_thresh < max_thresh <= capacity, got "
+                f"{min_thresh}/{max_thresh}/{capacity}"
+            )
+        if not 0 < max_prob <= 1:
+            raise ConfigurationError(f"max_prob must be in (0, 1], got {max_prob}")
+        if not 0 < avg_weight <= 1:
+            raise ConfigurationError(f"avg_weight must be in (0, 1], got {avg_weight}")
+        if minq < 1:
+            raise ConfigurationError(f"minq must be >= 1, got {minq}")
+        self.min_thresh = min_thresh
+        self.max_thresh = max_thresh
+        self.max_prob = max_prob
+        self.avg_weight = avg_weight
+        self.minq = minq
+        self._rng = rng if rng is not None else random.Random(0)
+        self.avg = 0.0
+        self._count = -1
+        #: Per-ACTIVE-flow buffered packet counts (dropped at zero).
+        self._qlen: Dict[int, int] = {}
+        #: Strikes against flows that keep exceeding their cap.
+        self._strikes: Dict[int, int] = {}
+        self.early_drops = 0
+        self.forced_drops = 0
+        self.per_flow_cap_drops = 0
+
+    # -- observability ---------------------------------------------------
+
+    @property
+    def active_flows(self) -> int:
+        """Flows with at least one packet buffered (FRED's state size)."""
+        return len(self._qlen)
+
+    def flow_backlog(self, flow_id: int) -> int:
+        return self._qlen.get(flow_id, 0)
+
+    def strikes(self, flow_id: int) -> int:
+        return self._strikes.get(flow_id, 0)
+
+    # -- admission ------------------------------------------------------
+
+    def _avgcq(self) -> float:
+        """Average per-active-flow buffering (at least one packet)."""
+        nactive = max(1, len(self._qlen))
+        return max(1.0, self.avg / nactive)
+
+    def admit(self, packet: Packet, now: float) -> bool:
+        self.avg = (1 - self.avg_weight) * self.avg + self.avg_weight * self._occupancy
+        flow = packet.flow_id
+        qlen_i = self._qlen.get(flow, 0)
+        avgcq = self._avgcq()
+        maxq = self.max_thresh / 2.0
+
+        # Physical buffer full: nothing to decide.
+        if self._occupancy + packet.size > self.capacity:
+            self.forced_drops += 1
+            self._strikes[flow] = self._strikes.get(flow, 0) + 1
+            return False
+        # Per-flow cap, or a striking (non-adaptive) flow above the
+        # average allowance: drop and remember the strike.
+        if qlen_i >= maxq or (
+            self._strikes.get(flow, 0) > 1 and qlen_i >= avgcq
+        ):
+            self.per_flow_cap_drops += 1
+            self._strikes[flow] = self._strikes.get(flow, 0) + 1
+            return False
+        # Fragile-flow protection: below the per-flow allowance a packet is
+        # never dropped probabilistically.
+        if qlen_i < max(self.minq, avgcq) and self.avg < self.max_thresh:
+            self._accept(flow)
+            return True
+        # RED region.
+        if self.avg >= self.max_thresh:
+            self.forced_drops += 1
+            self._count = 0
+            return False
+        if self.avg >= self.min_thresh:
+            self._count += 1
+            base = self.max_prob * (self.avg - self.min_thresh) / (
+                self.max_thresh - self.min_thresh
+            )
+            denom = 1.0 - self._count * base
+            prob = base / denom if denom > 0 else 1.0
+            if self._rng.random() < prob:
+                self.early_drops += 1
+                self._count = 0
+                return False
+        self._accept(flow)
+        return True
+
+    def _accept(self, flow: int) -> None:
+        self._qlen[flow] = self._qlen.get(flow, 0) + 1
+
+    def pop(self, now: float):
+        packet = super().pop(now)
+        if packet is not None and packet.size > 0.0:
+            remaining = self._qlen.get(packet.flow_id, 0) - 1
+            if remaining <= 0:
+                # Flow leaves the buffer: its state (and strikes, per the
+                # original FRED) is discarded.
+                self._qlen.pop(packet.flow_id, None)
+                self._strikes.pop(packet.flow_id, None)
+            else:
+                self._qlen[packet.flow_id] = remaining
+        return packet

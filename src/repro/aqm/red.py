@@ -1,0 +1,106 @@
+"""Random Early Detection (Floyd & Jacobson 1993; paper §5 related work).
+
+The gateway keeps an exponentially weighted moving average of the queue
+length.  Below ``min_thresh`` every packet is admitted; above
+``max_thresh`` every packet is dropped; in between, packets are dropped
+with a probability that rises linearly with the average, inflated by the
+count of packets admitted since the last drop so that drops are spread
+evenly rather than in bursts.  The paper cites RED as an incipient
+congestion detector that "provides no fairness guarantees" — the ABL-AQM
+ablation reproduces exactly that: RED drops are proportional to arrival
+share, so LIMD sources converge to *equal*, not weighted, rates.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.packet import Packet
+from repro.sim.queues import FifoQueue
+
+__all__ = ["RedQueue"]
+
+
+class RedQueue(FifoQueue):
+    """A RED gateway queue (drop-from-front averaging variant omitted)."""
+
+    def __init__(
+        self,
+        capacity: float,
+        min_thresh: float = 5.0,
+        max_thresh: float = 15.0,
+        max_prob: float = 0.1,
+        avg_weight: float = 0.002,
+        rng: Optional[random.Random] = None,
+        mean_packet_time: float = 1.0 / 500.0,
+    ) -> None:
+        super().__init__(capacity)
+        if not 0 < min_thresh < max_thresh <= capacity:
+            raise ConfigurationError(
+                f"need 0 < min_thresh < max_thresh <= capacity, got "
+                f"{min_thresh}/{max_thresh}/{capacity}"
+            )
+        if not 0 < max_prob <= 1:
+            raise ConfigurationError(f"max_prob must be in (0, 1], got {max_prob}")
+        if not 0 < avg_weight <= 1:
+            raise ConfigurationError(f"avg_weight must be in (0, 1], got {avg_weight}")
+        if mean_packet_time <= 0:
+            raise ConfigurationError(
+                f"mean_packet_time must be positive, got {mean_packet_time}"
+            )
+        self.min_thresh = min_thresh
+        self.max_thresh = max_thresh
+        self.max_prob = max_prob
+        self.avg_weight = avg_weight
+        self.mean_packet_time = mean_packet_time
+        self._rng = rng if rng is not None else random.Random(0)
+        self.avg = 0.0
+        self._count = -1
+        self._idle_since: Optional[float] = 0.0
+        self.early_drops = 0
+        self.forced_drops = 0
+
+    # -- average maintenance ---------------------------------------------
+
+    def _update_average(self, now: float) -> None:
+        if self._occupancy > 0 or self._idle_since is None:
+            self.avg = (1 - self.avg_weight) * self.avg + self.avg_weight * self._occupancy
+        else:
+            # Idle period: decay the average as if m small packets passed.
+            idle = max(0.0, now - self._idle_since)
+            m = idle / self.mean_packet_time
+            self.avg *= (1 - self.avg_weight) ** m
+            self._idle_since = None
+
+    def admit(self, packet: Packet, now: float) -> bool:
+        self._update_average(now)
+        if self._occupancy + packet.size > self.capacity:
+            self.forced_drops += 1
+            self._count = 0
+            return False
+        if self.avg < self.min_thresh:
+            self._count = -1
+            return True
+        if self.avg >= self.max_thresh:
+            self.forced_drops += 1
+            self._count = 0
+            return False
+        self._count += 1
+        base = self.max_prob * (self.avg - self.min_thresh) / (
+            self.max_thresh - self.min_thresh
+        )
+        denom = 1.0 - self._count * base
+        prob = base / denom if denom > 0 else 1.0
+        if self._rng.random() < prob:
+            self.early_drops += 1
+            self._count = 0
+            return False
+        return True
+
+    def pop(self, now: float):
+        packet = super().pop(now)
+        if packet is not None and self._occupancy == 0:
+            self._idle_since = now
+        return packet

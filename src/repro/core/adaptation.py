@@ -1,0 +1,146 @@
+"""Rate adaptation at the edge (paper §2.2, step 3 and §4).
+
+Every edge epoch, for each flow::
+
+    bg(f) = bg(f) + alpha                      if m(f) == 0
+    bg(f) = max(0,  bg(f) - beta * m(f))       if m(f)  > 0
+
+where ``m(f)`` is the number of feedback markers received in the last
+epoch, taken as the **max over any single core router** (throttle toward
+the bottleneck, not the sum of all congested hops).  Because the core
+returns markers in proportion to the normalized rate
+(``m(f) = k * bg(f)/w(f)``), the decrease is effectively
+``bg := bg * (1 - beta*k/w)`` — a *weighted multiplicative* decrease — so
+the edge executes the weighted LIMD that Chiu–Jain show converges to
+(weighted) fairness.
+
+Startup follows the paper's §4 source agents: flows begin in slow-start,
+doubling every second, and leave it on the first congestion notification
+(halving) or when the doubled rate exceeds ``ss_thresh`` (halving back).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.core.config import CoreliteConfig
+from repro.errors import ConfigurationError
+
+__all__ = ["Phase", "RateController"]
+
+
+class Phase(Enum):
+    """Controller phase: exponential startup or steady-state LIMD."""
+
+    SLOW_START = "slow_start"
+    LINEAR = "linear"
+
+
+class RateController:
+    """Slow-start + weighted-LIMD controller for one flow's allowed rate.
+
+    The same controller drives both Corelite edges (feedback = marker
+    count) and CSFQ source agents (feedback = loss count): the paper uses
+    "similar rate adaptation schemes" for both so that the comparison
+    isolates the core mechanisms.
+    """
+
+    __slots__ = (
+        "config",
+        "weight",
+        "min_rate",
+        "rate",
+        "phase",
+        "_last_double",
+        "increases",
+        "decreases",
+        "feedback_total",
+        "slow_start_exits",
+    )
+
+    def __init__(
+        self,
+        config: CoreliteConfig,
+        weight: float,
+        start_time: float = 0.0,
+        min_rate: float | None = None,
+    ) -> None:
+        """``min_rate`` overrides the config floor per flow — this is how a
+        *minimum rate contract* is enforced: the edge never throttles the
+        flow below its contracted rate (paper §4/§6)."""
+        if weight <= 0:
+            raise ConfigurationError(f"weight must be positive, got {weight}")
+        self.config = config
+        self.weight = weight
+        self.min_rate = config.min_rate if min_rate is None else min_rate
+        if self.min_rate < 0:
+            raise ConfigurationError(f"min_rate must be >= 0, got {self.min_rate}")
+        self.rate = max(config.initial_rate, self.min_rate)
+        self.phase = Phase.SLOW_START
+        self._last_double = start_time
+        self.increases = 0
+        self.decreases = 0
+        self.feedback_total = 0
+        self.slow_start_exits = 0
+
+    def restart(self, now: float) -> None:
+        """Reset to a fresh slow-start (a flow re-entering the network)."""
+        self.rate = max(self.config.initial_rate, self.min_rate)
+        self.phase = Phase.SLOW_START
+        self._last_double = now
+
+    def on_epoch(self, feedback_count: int, now: float) -> float:
+        """Apply one epoch of adaptation; returns the new allowed rate."""
+        if feedback_count < 0:
+            raise ConfigurationError(f"feedback_count must be >= 0, got {feedback_count}")
+        self.feedback_total += feedback_count
+        if self.phase is Phase.SLOW_START:
+            self._slow_start_epoch(feedback_count, now)
+        else:
+            self._linear_epoch(feedback_count)
+        return self.rate
+
+    # -- phases ----------------------------------------------------------
+
+    def _slow_start_epoch(self, feedback_count: int, now: float) -> None:
+        cfg = self.config
+        if feedback_count > 0:
+            # First congestion notification: halve and go linear.
+            self.rate = self._clamp(self.rate / 2.0)
+            self._exit_slow_start()
+            self.decreases += 1
+            return
+        if now - self._last_double >= cfg.ss_double_interval:
+            self.rate = self._clamp(self.rate * 2.0)
+            self._last_double = now
+            if self.rate / self.weight > cfg.ss_thresh:
+                # The *out-of-profile* (normalized, per unit weight) rate
+                # exceeded ss-thresh: halve and go linear.  The normalized
+                # reading is what makes the paper's §4.2 narrative work:
+                # every flow, regardless of weight, completes slow-start at
+                # normalized rate ss_thresh/2 — "close to their respective
+                # fair share rates".
+                self.rate = self._clamp(self.rate / 2.0)
+                self._exit_slow_start()
+
+    def _linear_epoch(self, feedback_count: int) -> None:
+        cfg = self.config
+        if feedback_count == 0:
+            self.rate = self._clamp(self.rate + cfg.alpha)
+            self.increases += 1
+        else:
+            self.rate = self._clamp(self.rate - cfg.beta * feedback_count)
+            self.decreases += 1
+
+    def _exit_slow_start(self) -> None:
+        self.phase = Phase.LINEAR
+        self.slow_start_exits += 1
+
+    def _clamp(self, rate: float) -> float:
+        return min(self.config.max_rate, max(self.min_rate, max(0.0, rate)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RateController(rate={self.rate:.2f} pps, w={self.weight}, "
+            f"phase={self.phase.value})"
+        )

@@ -1,0 +1,80 @@
+"""Marker-cache feedback selection (paper §2.2, step 2).
+
+The core router copies every traversing marker into a circular *marker
+cache*.  The cache holds the recent history of transmissions, so the
+number of cached markers belonging to a flow is proportional to the flow's
+normalized rate.  On incipient congestion the router draws the required
+number of markers uniformly at random from the cache and echoes each to
+the edge router that generated it — the expected feedback per flow is
+therefore proportional to its normalized rate, with no per-flow state and
+no inspection beyond the marker's return address.
+
+The paper notes the cache "implicitly maintains some per-flow state"; the
+truly stateless alternative is :mod:`repro.core.selective_feedback`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Callable, Deque, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["MarkerCacheFeedback"]
+
+#: (flow_id, origin_edge, label) — everything needed to echo a marker.
+CachedMarker = Tuple[int, str, float]
+
+EmitFeedback = Callable[[int, str, float], None]
+
+
+class MarkerCacheFeedback:
+    """Circular cache of recent markers with uniform random selection."""
+
+    def __init__(self, cache_size: int, rng: random.Random, emit: EmitFeedback) -> None:
+        if cache_size < 1:
+            raise ConfigurationError(f"cache size must be >= 1, got {cache_size}")
+        self._cache: Deque[CachedMarker] = deque(maxlen=cache_size)
+        self._rng = rng
+        self._emit = emit
+        self.markers_seen = 0
+        self.feedback_sent = 0
+
+    @property
+    def cache_size(self) -> int:
+        return self._cache.maxlen or 0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def observe(self, flow_id: int, origin_edge: str, label: float, now: float) -> None:
+        """Copy a traversing marker into the cache (oldest entry evicted)."""
+        self.markers_seen += 1
+        self._cache.append((flow_id, origin_edge, label))
+
+    def on_epoch(self, n_markers: int, now: float) -> int:
+        """Congestion epoch boundary: echo ``n_markers`` random cache entries.
+
+        Sampling is with replacement (a heavy flow can be throttled several
+        times per epoch, as in the paper's Figure 2 where flow A receives
+        twice flow B's feedback).  Returns the number actually sent, which
+        is 0 when the cache is empty.
+        """
+        if n_markers < 0:
+            raise ConfigurationError(f"n_markers must be >= 0, got {n_markers}")
+        if n_markers == 0 or not self._cache:
+            return 0
+        for flow_id, origin_edge, label in self._rng.choices(self._cache, k=n_markers):
+            self._emit(flow_id, origin_edge, label)
+        self.feedback_sent += n_markers
+        return n_markers
+
+    def flow_share(self, flow_id: int) -> float:
+        """Fraction of cached markers belonging to ``flow_id`` (for tests)."""
+        if not self._cache:
+            return 0.0
+        return sum(1 for entry in self._cache if entry[0] == flow_id) / len(self._cache)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MarkerCacheFeedback(cached={len(self._cache)}/{self.cache_size})"

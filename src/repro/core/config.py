@@ -1,0 +1,187 @@
+"""Corelite configuration.
+
+All constants named in the paper's evaluation (§4) are defaults here:
+``K1 = 1``, ``alpha = beta = 1``, queue capacity 40 packets, congestion
+threshold ``qthresh = 8`` packets, 100 ms epochs, slow-start threshold
+32 pkt/s.  Constants the paper leaves unspecified (marker-cache size, the
+``rav``/``wav`` running-average gains, the ``Fn`` self-correction constant
+``k``) are documented fields with sensible defaults and are swept by the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FeedbackScheme", "CoreliteConfig"]
+
+
+class FeedbackScheme(Enum):
+    """Which core-router marker selection mechanism to run.
+
+    ``MARKER_CACHE`` is the paper's introductory mechanism (§2.2): a
+    circular cache of recent markers sampled uniformly on congestion.
+    ``SELECTIVE`` is the truly flow-stateless mechanism of §3.2 and the one
+    used for the paper's evaluation; it throttles only flows whose
+    normalized rate is at or above the running average.
+    """
+
+    MARKER_CACHE = "marker_cache"
+    SELECTIVE = "selective"
+
+
+@dataclass
+class CoreliteConfig:
+    """Tunables for the Corelite edge and core mechanisms.
+
+    Attributes
+    ----------
+    k1:
+        Marker spacing constant: one marker per ``K1 * w`` data packets
+        (paper §2.2; §4 uses ``K1 = 1``).
+    alpha:
+        Linear increase, in pkt/s added per edge epoch when a flow received
+        no feedback ("increase the sending rate by one every epoch").
+    beta:
+        Rate decrease per received feedback marker, in pkt/s (paper §4:
+        ``beta = 1``).
+    edge_epoch:
+        Edge rate-adaptation period in seconds.  The paper fixes only the
+        *core* epoch (100 ms); we default the edge epoch to 300 ms — about
+        one round-trip time on the paper's topology, the natural control
+        interval.  Much shorter epochs make the aggregate linear-increase
+        pressure (``alpha * flows / edge_epoch``) outrun the feedback
+        loop's authority and produce limit-cycle buffer overruns; the
+        ABL-EPOCH ablation sweeps this.
+    core_epoch:
+        Core congestion-detection period in seconds (paper §4: 100 ms).
+    qthresh:
+        Incipient-congestion threshold on the epoch-averaged queue length,
+        in packets (paper §4: 8).
+    queue_capacity:
+        Output buffer size in packets (paper §4: 40).
+    fn_k:
+        The "small but non-zero" self-correcting constant ``k`` multiplying
+        ``(qavg - qthresh)^3`` in the ``Fn`` formula (§3.1).  ``0`` disables
+        the correction term (ablated in ABL-K).
+    feedback_scheme:
+        Which marker-selection mechanism the core routers run.
+    marker_cache_size:
+        Circular marker-cache capacity (MARKER_CACHE scheme only).
+    rav_gain:
+        Gain of the exponential running average of marker labels (``rav``,
+        SELECTIVE scheme).  Per-marker update ``rav += gain * (rn - rav)``.
+    wav_gain:
+        Gain of the running average of markers observed per epoch (``wav``).
+    ss_thresh:
+        Slow-start exit threshold in pkt/s (paper §4: 32): when the doubled
+        rate exceeds it, the rate is halved and the flow goes linear.
+    ss_double_interval:
+        Slow-start doubling period in seconds (paper: "doubling the sending
+        rate every second").
+    initial_rate:
+        Rate at which a freshly (re)started flow begins slow-start, pkt/s.
+    min_rate:
+        Floor on the allowed rate; the paper's ``max(0, ...)`` corresponds
+        to ``0.0``.  A small positive floor keeps a fully throttled flow
+        probing (its next increase re-opens the pacer anyway, so the
+        default stays 0).
+    max_rate:
+        Optional administrative cap on any single flow's allowed rate.
+    """
+
+    k1: float = 1.0
+    alpha: float = 1.0
+    beta: float = 1.0
+    edge_epoch: float = 0.3
+    core_epoch: float = 0.1
+    qthresh: float = 8.0
+    queue_capacity: float = 40.0
+    fn_k: float = 0.02
+    feedback_scheme: FeedbackScheme = FeedbackScheme.SELECTIVE
+    marker_cache_size: int = 128
+    rav_gain: float = 0.05
+    wav_gain: float = 0.25
+    ss_thresh: float = 32.0
+    ss_double_interval: float = 1.0
+    initial_rate: float = 1.0
+    min_rate: float = 0.0
+    max_rate: float = math.inf
+    #: Token-bucket depth of the edge shaper, in packets.  1.0 (the
+    #: paper's model) is pure pacing; larger values let a flow that was
+    #: idle send a short back-to-back burst before settling at bg.
+    shaper_burst: float = 1.0
+    #: Which congestion-detection formula the cores run: "mm1" (the
+    #: paper's §3.1 M/M/1 + cubic) or "linear" (Fn = gain*(qavg-qthresh),
+    #: the §3.1 "replaceable module" demonstration).
+    congestion_estimator: str = "mm1"
+    #: Marker gain of the linear estimator (markers per excess packet).
+    linear_gain: float = 1.0
+
+    def __post_init__(self) -> None:
+        positive = {
+            "k1": self.k1,
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "edge_epoch": self.edge_epoch,
+            "core_epoch": self.core_epoch,
+            "queue_capacity": self.queue_capacity,
+            "ss_thresh": self.ss_thresh,
+            "ss_double_interval": self.ss_double_interval,
+            "initial_rate": self.initial_rate,
+            "max_rate": self.max_rate,
+        }
+        for name, value in positive.items():
+            if not value > 0:
+                raise ConfigurationError(f"{name} must be positive, got {value}")
+        non_negative = {
+            "qthresh": self.qthresh,
+            "fn_k": self.fn_k,
+            "min_rate": self.min_rate,
+        }
+        for name, value in non_negative.items():
+            if value < 0:
+                raise ConfigurationError(f"{name} must be >= 0, got {value}")
+        if self.qthresh >= self.queue_capacity:
+            raise ConfigurationError(
+                f"qthresh ({self.qthresh}) must be below queue_capacity "
+                f"({self.queue_capacity}) or congestion is detected only at loss"
+            )
+        if self.marker_cache_size < 1:
+            raise ConfigurationError(
+                f"marker_cache_size must be >= 1, got {self.marker_cache_size}"
+            )
+        for name, gain in (("rav_gain", self.rav_gain), ("wav_gain", self.wav_gain)):
+            if not 0.0 < gain <= 1.0:
+                raise ConfigurationError(f"{name} must be in (0, 1], got {gain}")
+        if self.min_rate > self.max_rate:
+            raise ConfigurationError(
+                f"min_rate ({self.min_rate}) exceeds max_rate ({self.max_rate})"
+            )
+        if self.shaper_burst < 1.0:
+            raise ConfigurationError(
+                f"shaper_burst must be >= 1 packet, got {self.shaper_burst}"
+            )
+        if self.congestion_estimator not in ("mm1", "linear"):
+            raise ConfigurationError(
+                f"congestion_estimator must be 'mm1' or 'linear', "
+                f"got {self.congestion_estimator!r}"
+            )
+        if self.linear_gain <= 0:
+            raise ConfigurationError(
+                f"linear_gain must be positive, got {self.linear_gain}"
+            )
+        if not isinstance(self.feedback_scheme, FeedbackScheme):
+            raise ConfigurationError(
+                f"feedback_scheme must be a FeedbackScheme, got {self.feedback_scheme!r}"
+            )
+
+    def marker_interval(self, weight: float) -> float:
+        """``Nw = K1 * w``: data packets between consecutive markers."""
+        if weight <= 0:
+            raise ConfigurationError(f"weight must be positive, got {weight}")
+        return self.k1 * weight

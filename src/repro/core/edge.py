@@ -1,0 +1,447 @@
+"""The Corelite edge router (paper §2.2, steps 1 and 3).
+
+An edge router plays two roles:
+
+* **Ingress** for the flows entering the cloud through it: it shapes each
+  flow to its allowed rate ``bg(f)`` with a :class:`~repro.core.shaping.
+  PacedSender`, injects markers via :class:`~repro.core.marking.
+  MarkerInjector`, collects feedback markers echoed by core routers, and
+  once per edge epoch runs the :class:`~repro.core.adaptation.
+  RateController` on the **max** per-core feedback count.
+* **Egress** for the flows leaving through it: it meters delivered packets
+  (the paper's cumulative-service curves), absorbs markers, and tracks
+  sequence gaps so experiments can report losses.
+
+The edge is the only place with per-flow state, which is the Diffserv
+premise Corelite is built on: "it is feasible to maintain a restricted
+amount of per-flow state" at the fringes (§1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.microflows import MicroFlowMux
+
+from repro.core.adaptation import RateController
+from repro.core.config import CoreliteConfig
+from repro.core.marking import MarkerInjector
+from repro.core.shaping import PacedSender
+from repro.errors import FlowError
+from repro.sim.delay import DelayTracker
+from repro.sim.estimators import ExponentialRateEstimator
+from repro.sim.engine import PeriodicTask, Simulator
+from repro.sim.monitor import ThroughputMeter
+from repro.sim.node import Router
+from repro.sim.packet import Packet, PacketKind
+
+__all__ = ["FlowAttachment", "CoreliteEdge"]
+
+
+@dataclass(frozen=True)
+class FlowAttachment:
+    """Declaration of one edge-to-edge flow at its ingress edge.
+
+    ``min_rate`` is an optional minimum rate contract: the edge never
+    throttles the flow below it (0 means pure best-effort weighted share).
+    ``backlogged`` declares the paper's always-has-packets source; set it
+    False for flows fed by a traffic source via :meth:`CoreliteEdge.
+    deposit` — the shaper then only sends when backlog is available.
+    ``external`` declares a flow whose packets *arrive* at the edge from
+    an end host (e.g. TCP): the edge buffers up to ``shaper_buffer`` of
+    them, drains the buffer at ``bg(f)`` preserving the packets (their
+    sequence numbers belong to the transport), and drops the excess — the
+    paper's "drop packets from ill behaved flows at the edges".
+    """
+
+    flow_id: int
+    weight: float
+    dst_edge: str
+    min_rate: float = 0.0
+    backlogged: bool = True
+    external: bool = False
+    shaper_buffer: int = 40
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise FlowError(f"flow {self.flow_id}: weight must be > 0, got {self.weight}")
+        if self.min_rate < 0:
+            raise FlowError(f"flow {self.flow_id}: min_rate must be >= 0")
+        if self.external and self.backlogged:
+            raise FlowError(
+                f"flow {self.flow_id}: an external flow cannot be always-backlogged"
+            )
+        if self.shaper_buffer < 1:
+            raise FlowError(f"flow {self.flow_id}: shaper_buffer must be >= 1")
+
+
+class _IngressFlow:
+    """Per-flow ingress state: controller + pacer + injector + feedback."""
+
+    __slots__ = (
+        "attachment",
+        "controller",
+        "pacer",
+        "injector",
+        "seq",
+        "feedback",
+        "active",
+        "started_times",
+        "backlog",
+        "rate_estimator",
+        "mux",
+        "ext_queue",
+        "shaper_drops",
+    )
+
+    def __init__(
+        self,
+        attachment: FlowAttachment,
+        controller: RateController,
+        pacer: PacedSender,
+        injector: MarkerInjector,
+    ) -> None:
+        self.attachment = attachment
+        self.controller = controller
+        self.pacer = pacer
+        self.injector = injector
+        self.seq = 0
+        #: feedback marker counts in the current epoch, keyed by core link.
+        self.feedback: Dict[str, int] = {}
+        self.active = False
+        self.started_times = 0
+        #: None = always backlogged; otherwise packets awaiting shaping.
+        self.backlog: Optional[int] = None if attachment.backlogged else 0
+        #: For non-backlogged flows the marker label must reflect the
+        #: *actual* transmission rate (which can sit below bg), so it is
+        #: measured; for backlogged flows the shaped rate equals bg.
+        self.rate_estimator: Optional[ExponentialRateEstimator] = (
+            None if attachment.backlogged else ExponentialRateEstimator(k=0.1)
+        )
+        #: Micro-flow multiplexer (set via attach_microflows); when
+        #: present it replaces the scalar backlog as the shaper's source.
+        self.mux: Optional["MicroFlowMux"] = None
+        #: External (host-originated) packets awaiting shaping.
+        self.ext_queue: Optional[deque] = deque() if attachment.external else None
+        #: External packets dropped because the shaper buffer was full.
+        self.shaper_drops = 0
+
+
+class _EgressFlow:
+    """Per-flow egress state: delivery metering and gap-based loss count."""
+
+    __slots__ = (
+        "meter",
+        "markers_received",
+        "expected_seq",
+        "lost",
+        "micro_delivered",
+        "delay",
+    )
+
+    def __init__(self) -> None:
+        self.meter = ThroughputMeter()
+        self.markers_received = 0
+        self.expected_seq: Optional[int] = None
+        self.lost = 0
+        #: Delivered data packets per micro-flow id (0 = unaggregated).
+        self.micro_delivered: Dict[int, int] = {}
+        #: One-way delay statistics (ingress shaping to egress delivery).
+        self.delay = DelayTracker()
+
+
+class CoreliteEdge(Router):
+    """An edge router of the Corelite cloud (ingress + egress roles)."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        config: CoreliteConfig,
+        epoch_offset: Optional[float] = None,
+    ) -> None:
+        """``epoch_offset`` staggers this edge's first adaptation tick so
+        that edges created together do not adapt in lockstep (see
+        :meth:`repro.sim.engine.Simulator.every`)."""
+        super().__init__(name)
+        self.sim = sim
+        self.config = config
+        self._epoch_offset = epoch_offset
+        self._ingress: Dict[int, _IngressFlow] = {}
+        self._egress: Dict[int, _EgressFlow] = {}
+        self._epoch_task: Optional[PeriodicTask] = None
+        #: Feedback packets that arrived for unknown/stopped flows.
+        self.stray_feedback = 0
+        #: External packets that arrived while their flow was stopped.
+        self.shaper_drops_inactive = 0
+
+    # -- ingress role ---------------------------------------------------
+
+    def attach_flow(self, attachment: FlowAttachment) -> None:
+        """Declare a flow whose ingress is this edge (it starts stopped)."""
+        if attachment.flow_id in self._ingress:
+            raise FlowError(f"flow {attachment.flow_id} already attached at {self.name}")
+        controller = RateController(
+            self.config,
+            attachment.weight,
+            start_time=self.sim.now,
+            min_rate=attachment.min_rate,
+        )
+        injector = MarkerInjector(self.config.marker_interval(attachment.weight))
+        state = _IngressFlow(attachment, controller, pacer=None, injector=injector)  # type: ignore[arg-type]
+        state.pacer = PacedSender(
+            self.sim,
+            controller.rate,
+            lambda s=state: self._emit(s),
+            burst=self.config.shaper_burst,
+        )
+        self._ingress[attachment.flow_id] = state
+        if self._epoch_task is None:
+            self._epoch_task = self.sim.every(
+                self.config.edge_epoch, self._epoch, first_delay=self._epoch_offset
+            )
+
+    def start_flow(self, flow_id: int) -> None:
+        """(Re)start a flow: fresh slow-start, pacing begins immediately."""
+        state = self._ingress_state(flow_id)
+        if state.active:
+            return
+        state.active = True
+        state.started_times += 1
+        if state.started_times > 1:
+            state.controller.restart(self.sim.now)
+            state.injector.reset()
+        state.feedback.clear()
+        state.pacer.set_rate(state.controller.rate)
+        state.pacer.start()
+
+    def stop_flow(self, flow_id: int) -> None:
+        """Stop a flow; its allowed-rate state is discarded on restart."""
+        state = self._ingress_state(flow_id)
+        if not state.active:
+            return
+        state.active = False
+        state.pacer.stop()
+
+    def receive_feedback(self, packet: Packet) -> None:
+        """Control-plane entry point for feedback markers from the core."""
+        if packet.kind != PacketKind.FEEDBACK:
+            raise FlowError(f"{self.name}: non-feedback packet on control plane: {packet!r}")
+        state = self._ingress.get(packet.flow_id)
+        if state is None or not state.active:
+            self.stray_feedback += 1
+            return
+        source = packet.feedback_from or "?"
+        state.feedback[source] = state.feedback.get(source, 0) + 1
+
+    def allotted_rate(self, flow_id: int) -> float:
+        """The flow's current allowed rate ``bg(f)`` (the paper's y-axis)."""
+        return self._ingress_state(flow_id).controller.rate
+
+    def flow_active(self, flow_id: int) -> bool:
+        """Whether the flow is currently transmitting."""
+        return self._ingress_state(flow_id).active
+
+    def ingress_flow_ids(self) -> Tuple[int, ...]:
+        return tuple(self._ingress)
+
+    def _ingress_state(self, flow_id: int) -> _IngressFlow:
+        try:
+            return self._ingress[flow_id]
+        except KeyError:
+            raise FlowError(f"{self.name}: unknown ingress flow {flow_id}") from None
+
+    def attach_microflows(self, flow_id: int, mux: "MicroFlowMux") -> "MicroFlowMux":
+        """Turn a non-backlogged flow into an aggregate of micro-flows.
+
+        The shaper then serves the mux round-robin; per-micro-flow traffic
+        is offered through ``mux.deposit(micro_id, n)``.
+        """
+        state = self._ingress_state(flow_id)
+        if state.attachment.backlogged:
+            raise FlowError(
+                f"{self.name}: flow {flow_id} must be declared non-backlogged "
+                "to aggregate micro-flows"
+            )
+        if state.mux is not None:
+            raise FlowError(f"{self.name}: flow {flow_id} already aggregated")
+        state.mux = mux
+        mux.on_deposit = state.pacer.kick
+        return mux
+
+    def deposit(self, flow_id: int, n: int = 1) -> None:
+        """Offer ``n`` packets to a non-backlogged flow's shaper queue."""
+        state = self._ingress_state(flow_id)
+        if state.backlog is None:
+            raise FlowError(
+                f"{self.name}: flow {flow_id} is declared always-backlogged"
+            )
+        if state.mux is not None:
+            raise FlowError(
+                f"{self.name}: flow {flow_id} is aggregated; deposit through its mux"
+            )
+        state.backlog += n
+        state.pacer.kick()
+
+    def backlog_of(self, flow_id: int) -> Optional[int]:
+        """Pending packets awaiting shaping (None = always backlogged)."""
+        state = self._ingress_state(flow_id)
+        if state.ext_queue is not None:
+            return len(state.ext_queue)
+        return state.backlog
+
+    def shaper_drops_of(self, flow_id: int) -> int:
+        """External packets dropped at this edge's shaper buffer."""
+        return self._ingress_state(flow_id).shaper_drops
+
+    def _shape_in(self, state: _IngressFlow, packet: Packet) -> None:
+        """An external (host-originated) packet arrives for shaping."""
+        assert state.ext_queue is not None
+        if not state.active:
+            self.shaper_drops_inactive += 1
+            return
+        if len(state.ext_queue) >= state.attachment.shaper_buffer:
+            state.shaper_drops += 1
+            return
+        state.ext_queue.append(packet)
+        state.pacer.kick()
+
+    def _emit(self, state: _IngressFlow) -> bool:
+        """Pacer callback: send one data packet (+ marker when due).
+
+        Returns False (the shaper parks) when the flow has nothing to
+        send; deposits kick the shaper awake.
+        """
+        att = state.attachment
+        now = self.sim.now
+        if state.ext_queue is not None:
+            if not state.ext_queue:
+                return False  # no host packet buffered
+            packet = state.ext_queue.popleft()
+        else:
+            micro_id = 0
+            if state.mux is not None:
+                picked = state.mux.pop()
+                if picked is None:
+                    return False  # the whole aggregate is idle
+                micro_id = picked
+            elif state.backlog is not None:
+                if state.backlog < 1:
+                    return False  # nothing deposited yet
+                state.backlog -= 1
+            packet = Packet.data(
+                att.flow_id, self.name, att.dst_edge, seq=state.seq, now=now
+            )
+            packet.micro_id = micro_id
+            state.seq += 1
+        self.forward(packet)
+        if state.rate_estimator is not None:
+            state.rate_estimator.update(now, packet.size)
+        for _ in range(state.injector.on_data(packet.size)):
+            # The marker carries the *out-of-profile* normalized rate: the
+            # portion above the contracted minimum, per unit weight.  With
+            # no contract this is the paper's plain rn = bg/w; with one,
+            # in-profile traffic does not compete in the fairness of the
+            # excess (otherwise a floored flow would soak up all feedback
+            # that can never throttle it, deadlocking the control loop).
+            # Non-backlogged flows can transmit below bg, so their actual
+            # (measured) rate is what the marker must reflect.
+            rate = state.controller.rate
+            if state.rate_estimator is not None:
+                rate = min(rate, state.rate_estimator.rate)
+            label = max(0.0, rate - att.min_rate) / att.weight
+            self.forward(Packet.marker(att.flow_id, self.name, att.dst_edge, label, now))
+        return True
+
+    def _epoch(self) -> None:
+        """Edge epoch: run rate adaptation on every active ingress flow."""
+        now = self.sim.now
+        for state in self._ingress.values():
+            if not state.active:
+                continue
+            # React to the bottleneck: the max feedback from any single
+            # core link, not the sum across congested hops (paper §2.2).
+            m = max(state.feedback.values()) if state.feedback else 0
+            state.feedback.clear()
+            new_rate = state.controller.on_epoch(m, now)
+            state.pacer.set_rate(new_rate)
+
+    # -- egress role -----------------------------------------------------
+
+    def expect_flow(self, flow_id: int) -> None:
+        """Declare a flow whose egress is this edge."""
+        if flow_id in self._egress:
+            raise FlowError(f"flow {flow_id} already expected at {self.name}")
+        self._egress[flow_id] = _EgressFlow()
+
+    def delivered(self, flow_id: int) -> int:
+        """Cumulative data packets delivered for ``flow_id`` (Figure 4)."""
+        return self._egress_state(flow_id).meter.count
+
+    def take_throughput(self, flow_id: int) -> float:
+        """Delivered rate since the last call (pkt/s)."""
+        return self._egress_state(flow_id).meter.take_rate(self.sim.now)
+
+    def losses(self, flow_id: int) -> int:
+        """Sequence-gap loss count observed at this egress."""
+        return self._egress_state(flow_id).lost
+
+    def delivered_by_micro(self, flow_id: int) -> Dict[int, int]:
+        """Delivered packets keyed by micro-flow id (0 = unaggregated)."""
+        return dict(self._egress_state(flow_id).micro_delivered)
+
+    def delay_stats(self, flow_id: int) -> DelayTracker:
+        """One-way delay statistics for a flow delivered at this egress."""
+        return self._egress_state(flow_id).delay
+
+    def _egress_state(self, flow_id: int) -> _EgressFlow:
+        try:
+            return self._egress[flow_id]
+        except KeyError:
+            raise FlowError(f"{self.name}: unknown egress flow {flow_id}") from None
+
+    def _deliver_local(self, packet: Packet) -> None:
+        state = self._egress.get(packet.flow_id)
+        if state is None:
+            raise FlowError(
+                f"{self.name}: packet for unexpected flow {packet.flow_id} "
+                f"(call expect_flow first)"
+            )
+        if packet.kind == PacketKind.MARKER:
+            state.markers_received += 1
+            return
+        if packet.kind != PacketKind.DATA:
+            return
+        if state.expected_seq is not None and packet.seq > state.expected_seq:
+            state.lost += packet.seq - state.expected_seq
+        # A restarted flow re-begins at seq 0; treat backward jumps as resets.
+        state.expected_seq = packet.seq + 1 if packet.seq >= (state.expected_seq or 0) else 1
+        state.meter.record()
+        state.delay.record(max(0.0, self.sim.now - packet.created_at))
+        state.micro_delivered[packet.micro_id] = (
+            state.micro_delivered.get(packet.micro_id, 0) + 1
+        )
+
+    # -- shared receive path -------------------------------------------------
+
+    def receive(self, packet: Packet, link) -> None:
+        if packet.dst == self.name:
+            self._deliver_local(packet)
+            return
+        if packet.kind == PacketKind.DATA:
+            # Ingress role for external flows: host-originated packets are
+            # buffered and shaped rather than forwarded at arrival rate.
+            ingress_state = self._ingress.get(packet.flow_id)
+            if ingress_state is not None and ingress_state.ext_queue is not None:
+                self._shape_in(ingress_state, packet)
+                return
+            # Egress role for transit flows (destination is an end host
+            # behind this edge): meter deliveries on the way through.
+            egress_state = self._egress.get(packet.flow_id)
+            if egress_state is not None:
+                egress_state.meter.record()
+                egress_state.delay.record(max(0.0, self.sim.now - packet.created_at))
+        self.forward(packet)

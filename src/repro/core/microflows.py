@@ -1,0 +1,96 @@
+"""Micro-flow aggregation at the edge (paper §2 and §6).
+
+The paper's unit of network-level fairness is the *edge-to-edge* flow,
+which "can potentially comprise of several end to end micro flows" (§2);
+"aggregation of flows at the edge router" is called out as ongoing work
+(§6).  This module supplies the edge-local half of that story:
+
+* the Corelite cloud allocates the aggregate its weighted max-min share
+  exactly as for any flow (cores are untouched — they still see one flow
+  and its markers);
+* the ingress edge divides the aggregate's allowed rate ``bg(f)`` among
+  the constituent micro-flows with deficit-round-robin over their
+  backlogs, so backlogged micro-flows split the aggregate equally and
+  idle micro-flows donate their share (local max-min within the
+  aggregate);
+* the egress edge demultiplexes delivery counts per micro-flow.
+
+The :class:`MicroFlowMux` plugs into an ingress flow via
+:meth:`repro.core.edge.CoreliteEdge.attach_microflows`; its
+``deposit(micro_id, n)`` is what per-micro-flow sources feed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, FlowError
+
+__all__ = ["MicroFlowMux"]
+
+
+class MicroFlowMux:
+    """Round-robin scheduler over per-micro-flow backlogs."""
+
+    def __init__(self, micro_ids: Tuple[int, ...]) -> None:
+        if not micro_ids:
+            raise ConfigurationError("an aggregate needs at least one micro-flow")
+        if len(set(micro_ids)) != len(micro_ids):
+            raise ConfigurationError(f"duplicate micro-flow ids in {micro_ids!r}")
+        for mid in micro_ids:
+            if mid <= 0:
+                raise ConfigurationError(
+                    f"micro-flow ids must be positive (0 means unaggregated), got {mid}"
+                )
+        #: insertion-ordered so round-robin order is deterministic.
+        self._backlogs: "OrderedDict[int, int]" = OrderedDict(
+            (mid, 0) for mid in micro_ids
+        )
+        self._rr: List[int] = list(micro_ids)
+        self._rr_index = 0
+        self.offered: Dict[int, int] = {mid: 0 for mid in micro_ids}
+        self.sent: Dict[int, int] = {mid: 0 for mid in micro_ids}
+        #: Set by the owning edge: wakes the aggregate's parked shaper.
+        self.on_deposit: Optional[callable] = None
+
+    @property
+    def micro_ids(self) -> Tuple[int, ...]:
+        return tuple(self._backlogs)
+
+    def deposit(self, micro_id: int, n: int = 1) -> None:
+        """Offer ``n`` packets of ``micro_id`` to the aggregate's shaper."""
+        if micro_id not in self._backlogs:
+            raise FlowError(f"unknown micro-flow {micro_id}")
+        if n < 1:
+            raise ConfigurationError(f"deposit count must be >= 1, got {n}")
+        self._backlogs[micro_id] += n
+        self.offered[micro_id] += n
+        if self.on_deposit is not None:
+            self.on_deposit()
+
+    def backlog(self, micro_id: int) -> int:
+        try:
+            return self._backlogs[micro_id]
+        except KeyError:
+            raise FlowError(f"unknown micro-flow {micro_id}") from None
+
+    @property
+    def total_backlog(self) -> int:
+        return sum(self._backlogs.values())
+
+    def pop(self) -> Optional[int]:
+        """Pick the next micro-flow to serve (round-robin over backlogged
+        micro-flows); returns its id, or None when the aggregate is idle."""
+        n = len(self._rr)
+        for offset in range(n):
+            micro_id = self._rr[(self._rr_index + offset) % n]
+            if self._backlogs[micro_id] > 0:
+                self._backlogs[micro_id] -= 1
+                self.sent[micro_id] += 1
+                self._rr_index = (self._rr_index + offset + 1) % n
+                return micro_id
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MicroFlowMux(backlogs={dict(self._backlogs)})"

@@ -1,0 +1,183 @@
+"""The Corelite core router (paper §2.2 step 2, §3).
+
+Data packets get the "standard forwarding behavior" — a route lookup and a
+FIFO enqueue, nothing else.  Markers are additionally *observed* by the
+feedback mechanism attached to the output link they are about to join.
+Once per congestion epoch, each Corelite-enabled output link:
+
+1. reads the epoch's time-averaged queue length ``qavg`` and resets the
+   averaging window,
+2. asks the :class:`~repro.core.congestion.CongestionEstimator` for the
+   number of feedback markers ``Fn`` (0 when ``qavg <= qthresh``),
+3. hands ``Fn`` to the marker-selection mechanism — the marker cache sends
+   feedback immediately from its history; the selective scheme arms its
+   selection probability ``pw`` for the markers of the next epoch.
+
+Feedback markers are echoed to the edge router named in the marker's
+return address via the control plane.  The router never looks at flow
+identity, weights, or rates: it is flow-stateless (the cache variant keeps
+a bounded marker history; the selective variant keeps two scalars).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.core.cache_feedback import MarkerCacheFeedback
+from repro.core.config import CoreliteConfig, FeedbackScheme
+from repro.core.congestion import CongestionDetector, make_estimator
+from repro.core.selective_feedback import SelectiveFeedback
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.node import Router
+from repro.sim.packet import Packet, PacketKind
+from repro.sim.rng import RngRegistry
+
+__all__ = ["CoreliteCoreRouter"]
+
+#: Callback delivering a FEEDBACK packet to the edge named in ``packet.dst``.
+FeedbackSender = Callable[[Packet], None]
+
+Selector = Union[MarkerCacheFeedback, SelectiveFeedback]
+
+
+class _LinkMachinery:
+    """Congestion estimator + marker selector for one output link."""
+
+    __slots__ = ("link", "estimator", "selector", "qavg_last")
+
+    def __init__(self, link: Link, estimator: CongestionDetector, selector: Selector) -> None:
+        self.link = link
+        self.estimator = estimator
+        self.selector = selector
+        self.qavg_last = 0.0
+
+
+class CoreliteCoreRouter(Router):
+    """A flow-stateless core router with weighted fair marker feedback."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        config: CoreliteConfig,
+        rng: RngRegistry,
+        send_feedback: FeedbackSender,
+    ) -> None:
+        super().__init__(name)
+        self.sim = sim
+        self.config = config
+        self._rng = rng
+        self._send_feedback = send_feedback
+        self._machinery: Dict[str, _LinkMachinery] = {}
+        self.feedback_emitted = 0
+
+    # -- setup -----------------------------------------------------------
+
+    def enable_on_link(self, link: Link) -> _LinkMachinery:
+        """Attach congestion detection + marker feedback to an output link."""
+        if link.src_name != self.name:
+            raise ConfigurationError(
+                f"{self.name}: link {link.name} does not originate here"
+            )
+        if link.name in self._machinery:
+            raise ConfigurationError(f"{self.name}: {link.name} already enabled")
+        estimator = make_estimator(self.config, link.bandwidth_pps)
+        emit = self._make_emitter(link.name)
+        selector: Selector
+        if self.config.feedback_scheme is FeedbackScheme.MARKER_CACHE:
+            selector = MarkerCacheFeedback(
+                self.config.marker_cache_size,
+                self._rng.stream(f"cache:{link.name}"),
+                emit,
+            )
+        else:
+            selector = SelectiveFeedback(
+                self.config, self._rng.stream(f"selective:{link.name}"), emit
+            )
+        machinery = _LinkMachinery(link, estimator, selector)
+        self._machinery[link.name] = machinery
+        link.queue.reset_window(self.sim.now)
+        # Randomized phase: real routers' epoch clocks are unsynchronized,
+        # and lockstep congestion epochs amplify rate oscillations.
+        offset = self._rng.stream(f"epoch:{link.name}").uniform(
+            0.0, self.config.core_epoch
+        )
+        self.sim.every(
+            self.config.core_epoch,
+            lambda m=machinery: self._epoch(m),
+            first_delay=offset,
+        )
+        return machinery
+
+    def machinery_for(self, link_name: str) -> Optional[_LinkMachinery]:
+        """The estimator/selector pair of an enabled link (for tests)."""
+        return self._machinery.get(link_name)
+
+    def flow_state_entries(self) -> int:
+        """Per-flow state entries held by this router — the paper's whole
+        point is that this does not grow with the number of flows.
+
+        The selective scheme keeps two scalars per link (``rav``, ``wav``)
+        and no flow entries at all; the marker cache holds a *bounded*
+        marker history (its size is a config constant, not a flow count).
+        """
+        total = 0
+        for machinery in self._machinery.values():
+            selector = machinery.selector
+            if isinstance(selector, MarkerCacheFeedback):
+                total += len(selector)  # bounded by marker_cache_size
+        return total
+
+    def enabled_links(self) -> Tuple[str, ...]:
+        return tuple(self._machinery)
+
+    # -- data path --------------------------------------------------------
+
+    def receive(self, packet: Packet, link: Link) -> None:
+        out_link = self.route_for(packet.dst)
+        if out_link is None:
+            # Defer to forward() for the error message.
+            self.forward(packet)
+            return
+        if packet.kind == PacketKind.MARKER:
+            machinery = self._machinery.get(out_link.name)
+            if machinery is not None:
+                machinery.selector.observe(
+                    packet.flow_id,
+                    packet.origin_edge or packet.src,
+                    packet.label,
+                    self.sim.now,
+                )
+        out_link.send(packet)
+
+    # -- congestion epoch -------------------------------------------------
+
+    def _epoch(self, machinery: _LinkMachinery) -> None:
+        now = self.sim.now
+        qavg = machinery.link.queue.time_average(now)
+        machinery.link.queue.reset_window(now)
+        machinery.qavg_last = qavg
+        n_markers = machinery.estimator.markers_for_epoch(qavg)
+        machinery.selector.on_epoch(n_markers, now)
+
+    # -- feedback -----------------------------------------------------------
+
+    def _make_emitter(self, link_name: str) -> Callable[[int, str, float], None]:
+        def emit(flow_id: int, origin_edge: str, label: float) -> None:
+            feedback = Packet(
+                PacketKind.FEEDBACK,
+                flow_id,
+                src=self.name,
+                dst=origin_edge,
+                size=0.0,
+                label=label,
+                created_at=self.sim.now,
+            )
+            feedback.origin_edge = origin_edge
+            feedback.feedback_from = link_name
+            self.feedback_emitted += 1
+            self._send_feedback(feedback)
+
+        return emit

@@ -1,0 +1,187 @@
+"""Per-flow shaping at the ingress edge (paper §2.2, step 1).
+
+Each ingress edge router "maintains the allowed transmission rate bg(f)
+for every flow passing through it, and shapes the flow's traffic according
+to its current bg(f)".  The shaper is a token bucket draining at ``bg``:
+
+* with the default ``burst = 1`` it degenerates to pure *pacing* — one
+  packet every ``1/bg`` seconds, which is the paper's model for its
+  always-backlogged sources;
+* with ``burst > 1`` a flow that has been idle may send up to ``burst``
+  packets back-to-back before settling at ``bg`` — classic token-bucket
+  shaping for bursty or transactional traffic.
+
+The ``emit`` callback reports whether it actually sent a packet.  When a
+flow has nothing to send, the shaper *parks* (no timer) instead of firing
+empty slots; whoever refills the backlog calls :meth:`PacedSender.kick`.
+Rate changes take effect immediately: the accumulated credit is re-priced
+at the new rate, so a throttled flow cannot burst on credit earned at its
+old, higher rate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import EventHandle, Simulator
+
+__all__ = ["PacedSender"]
+
+#: Tolerance when testing for a whole token: repeated accrual over float
+#: timestamps can land at 1 - 1e-16, and the residual delay would round
+#: to the same simulation instant (a livelock).
+_TOKEN_EPS = 1e-9
+
+
+class PacedSender:
+    """Token-bucket shaper emitting via an ``emit() -> sent?`` callback."""
+
+    __slots__ = (
+        "_sim",
+        "_emit",
+        "_rate",
+        "burst",
+        "_credit",
+        "_last_accrual",
+        "_running",
+        "_handle",
+        "_last_emit",
+        "packets_sent",
+        "idle_parks",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate: float,
+        emit: Callable[[], Optional[bool]],
+        burst: float = 1.0,
+    ) -> None:
+        if rate < 0:
+            raise ConfigurationError(f"rate must be >= 0, got {rate}")
+        if burst < 1.0:
+            raise ConfigurationError(f"burst must be >= 1 packet, got {burst}")
+        self._sim = sim
+        self._emit = emit
+        self._rate = rate
+        self.burst = burst
+        self._credit = 1.0  # a fresh flow may send immediately
+        self._last_accrual = 0.0
+        self._running = False
+        self._handle: Optional[EventHandle] = None
+        self._last_emit = -float("inf")
+        self.packets_sent = 0
+        #: Times the shaper parked because the flow had nothing to send.
+        self.idle_parks = 0
+
+    @property
+    def rate(self) -> float:
+        """Current shaping rate in packets/second."""
+        return self._rate
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def credit(self) -> float:
+        """Current token balance, in packets (for tests/monitoring)."""
+        self._accrue()
+        return self._credit
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin shaping; a full token allows an immediate first packet."""
+        if self._running:
+            return
+        self._running = True
+        self._credit = max(self._credit, 1.0)
+        self._last_accrual = self._sim.now
+        self._schedule(0.0)
+
+    def stop(self) -> None:
+        """Stop shaping; a pending emission is cancelled."""
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def set_rate(self, rate: float) -> None:
+        """Change the shaping rate.
+
+        The credit is re-priced as if the time since the last emission had
+        accrued at the *new* rate (capped by the burst size): raising the
+        rate lets a long-waiting flow send promptly, while lowering it
+        revokes credit earned at the old rate — a freshly throttled flow
+        must not burst.
+        """
+        if rate < 0:
+            raise ConfigurationError(f"rate must be >= 0, got {rate}")
+        if rate == self._rate:
+            return
+        now = self._sim.now
+        waited = now - self._last_emit if self._last_emit > -float("inf") else float("inf")
+        self._rate = rate
+        self._credit = min(self.burst, waited * rate) if rate > 0 else 0.0
+        self._last_accrual = now
+        if self._running:
+            self._schedule(self._delay_until_token())
+
+    def kick(self) -> None:
+        """Wake a parked shaper: the flow's backlog became non-empty."""
+        if not self._running or self._handle is not None:
+            return
+        self._schedule(self._delay_until_token())
+
+    # -- internals --------------------------------------------------------
+
+    def _accrue(self) -> None:
+        now = self._sim.now
+        if self._rate > 0 and now > self._last_accrual:
+            self._credit = min(self.burst, self._credit + (now - self._last_accrual) * self._rate)
+        self._last_accrual = now
+
+    def _delay_until_token(self) -> float:
+        self._accrue()
+        if self._credit >= 1.0 - _TOKEN_EPS:
+            return 0.0
+        if self._rate <= 0.0:
+            return -1.0  # dormant until the rate rises
+        return (1.0 - self._credit) / self._rate
+
+    def _schedule(self, delay: float) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+        if delay < 0:
+            return  # dormant (rate 0); set_rate re-schedules
+        self._handle = self._sim.schedule(delay, self._fire)
+
+    def _fire(self) -> None:
+        self._handle = None
+        if not self._running:
+            return
+        self._accrue()
+        if self._credit < 1.0 - _TOKEN_EPS:
+            self._schedule(self._delay_until_token())
+            return
+        sent = self._emit()
+        if not self._running:
+            return  # the emit callback tore the flow down
+        if sent is False:
+            # Explicitly nothing to send: park until a deposit kicks us.
+            # (None counts as sent so plain callbacks need no return.)
+            self.idle_parks += 1
+            return
+        self._credit = max(0.0, self._credit - 1.0)
+        self._last_emit = self._sim.now
+        self.packets_sent += 1
+        self._schedule(self._delay_until_token())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "running" if self._running else "stopped"
+        return (
+            f"PacedSender(rate={self._rate:.2f} pps, burst={self.burst}, "
+            f"{state}, sent={self.packets_sent})"
+        )

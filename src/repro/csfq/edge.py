@@ -1,0 +1,293 @@
+"""The CSFQ edge router.
+
+Ingress role: shape each flow to its allowed rate with the same paced
+sender as Corelite, estimate the flow's rate with exponential averaging
+(:class:`~repro.csfq.estimator.ExponentialRateEstimator`) and stamp each
+data packet's label with the *normalized* estimate ``r/w`` — the weighted
+CSFQ labeling.
+
+Egress role: detect losses from sequence gaps and report them to the
+ingress edge over the control plane (LOSS_NOTIFY).  The ingress counts
+losses per edge epoch and runs the shared slow-start + LIMD
+:class:`~repro.core.adaptation.RateController` on that count — the paper's
+"similar rate adaptation schemes ... (losses in case of CSFQ)".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.adaptation import RateController
+from repro.core.shaping import PacedSender
+from repro.csfq.config import CsfqConfig
+from repro.csfq.estimator import ExponentialRateEstimator
+from repro.errors import FlowError
+from repro.sim.delay import DelayTracker
+from repro.sim.engine import PeriodicTask, Simulator
+from repro.sim.monitor import ThroughputMeter
+from repro.sim.node import Router
+from repro.sim.packet import Packet, PacketKind
+
+__all__ = ["CsfqFlowAttachment", "CsfqEdge"]
+
+#: Ships a LOSS_NOTIFY packet toward the ingress edge named in packet.dst.
+LossChannel = Callable[[Packet], None]
+
+
+@dataclass(frozen=True)
+class CsfqFlowAttachment:
+    """Declaration of one flow at its CSFQ ingress edge.
+
+    ``backlogged`` mirrors :class:`repro.core.edge.FlowAttachment`: set it
+    False for flows fed by a traffic source via :meth:`CsfqEdge.deposit`.
+    """
+
+    flow_id: int
+    weight: float
+    dst_edge: str
+    backlogged: bool = True
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise FlowError(f"flow {self.flow_id}: weight must be > 0, got {self.weight}")
+
+
+class _IngressFlow:
+    __slots__ = (
+        "attachment",
+        "controller",
+        "pacer",
+        "estimator",
+        "seq",
+        "losses",
+        "active",
+        "backlog",
+    )
+
+    def __init__(
+        self,
+        attachment: CsfqFlowAttachment,
+        controller: RateController,
+        estimator: ExponentialRateEstimator,
+    ) -> None:
+        self.attachment = attachment
+        self.controller = controller
+        self.pacer: PacedSender = None  # type: ignore[assignment]
+        self.estimator = estimator
+        self.seq = 0
+        self.losses = 0
+        self.active = False
+        #: None = always backlogged; otherwise packets awaiting shaping.
+        self.backlog: Optional[int] = None if attachment.backlogged else 0
+
+
+class _EgressFlow:
+    __slots__ = ("meter", "expected_seq", "lost", "ecn_marks", "delay")
+
+    def __init__(self) -> None:
+        self.meter = ThroughputMeter()
+        self.expected_seq: Optional[int] = None
+        self.lost = 0
+        self.ecn_marks = 0
+        #: One-way delay statistics (ingress shaping to egress delivery).
+        self.delay = DelayTracker()
+
+
+class CsfqEdge(Router):
+    """An edge router of the CSFQ cloud (ingress + egress roles)."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        config: CsfqConfig,
+        epoch_offset: Optional[float] = None,
+    ) -> None:
+        """``epoch_offset`` staggers this edge's first adaptation tick so
+        that edges created together do not adapt in lockstep."""
+        super().__init__(name)
+        self.sim = sim
+        self.config = config
+        self._epoch_offset = epoch_offset
+        self._ingress: Dict[int, _IngressFlow] = {}
+        self._egress: Dict[int, _EgressFlow] = {}
+        self._epoch_task: Optional[PeriodicTask] = None
+        #: Set by the network harness: ships loss notifications upstream.
+        self.loss_channel: Optional[LossChannel] = None
+        self.stray_notifications = 0
+
+    # -- ingress role ---------------------------------------------------
+
+    def attach_flow(self, attachment: CsfqFlowAttachment) -> None:
+        if attachment.flow_id in self._ingress:
+            raise FlowError(f"flow {attachment.flow_id} already attached at {self.name}")
+        # CsfqConfig mirrors the adaptation fields of CoreliteConfig by
+        # name, so the shared RateController drives CSFQ sources unchanged.
+        controller = RateController(self.config, attachment.weight, start_time=self.sim.now)  # type: ignore[arg-type]
+        estimator = ExponentialRateEstimator(self.config.k_flow, start_time=self.sim.now)
+        state = _IngressFlow(attachment, controller, estimator)
+        state.pacer = PacedSender(
+            self.sim,
+            controller.rate,
+            lambda s=state: self._emit(s),
+            burst=self.config.shaper_burst,
+        )
+        self._ingress[attachment.flow_id] = state
+        if self._epoch_task is None:
+            self._epoch_task = self.sim.every(
+                self.config.edge_epoch, self._epoch, first_delay=self._epoch_offset
+            )
+
+    def start_flow(self, flow_id: int) -> None:
+        state = self._ingress_state(flow_id)
+        if state.active:
+            return
+        state.active = True
+        state.controller.restart(self.sim.now)
+        state.estimator.restart(self.sim.now)
+        state.losses = 0
+        state.pacer.set_rate(state.controller.rate)
+        state.pacer.start()
+
+    def stop_flow(self, flow_id: int) -> None:
+        state = self._ingress_state(flow_id)
+        if not state.active:
+            return
+        state.active = False
+        state.pacer.stop()
+
+    def receive_loss_notify(self, packet: Packet) -> None:
+        """Control-plane entry: egress-detected losses for one of our flows."""
+        if packet.kind != PacketKind.LOSS_NOTIFY:
+            raise FlowError(f"{self.name}: unexpected control packet {packet!r}")
+        state = self._ingress.get(packet.flow_id)
+        if state is None or not state.active:
+            self.stray_notifications += 1
+            return
+        state.losses += int(packet.label)
+
+    def allotted_rate(self, flow_id: int) -> float:
+        return self._ingress_state(flow_id).controller.rate
+
+    def flow_active(self, flow_id: int) -> bool:
+        """Whether the flow is currently transmitting."""
+        return self._ingress_state(flow_id).active
+
+    def ingress_flow_ids(self) -> Tuple[int, ...]:
+        return tuple(self._ingress)
+
+    def _ingress_state(self, flow_id: int) -> _IngressFlow:
+        try:
+            return self._ingress[flow_id]
+        except KeyError:
+            raise FlowError(f"{self.name}: unknown ingress flow {flow_id}") from None
+
+    def deposit(self, flow_id: int, n: int = 1) -> None:
+        """Offer ``n`` packets to a non-backlogged flow's shaper queue."""
+        state = self._ingress_state(flow_id)
+        if state.backlog is None:
+            raise FlowError(
+                f"{self.name}: flow {flow_id} is declared always-backlogged"
+            )
+        state.backlog += n
+        state.pacer.kick()
+
+    def backlog_of(self, flow_id: int) -> Optional[int]:
+        """Pending packets awaiting shaping (None = always backlogged)."""
+        return self._ingress_state(flow_id).backlog
+
+    def _emit(self, state: _IngressFlow) -> bool:
+        if state.backlog is not None:
+            if state.backlog < 1:
+                return False  # nothing deposited yet: the shaper parks
+            state.backlog -= 1
+        att = state.attachment
+        now = self.sim.now
+        rate = state.estimator.update(now, 1.0)
+        label = rate / att.weight  # weighted CSFQ: labels are normalized
+        packet = Packet.data(att.flow_id, self.name, att.dst_edge, seq=state.seq, now=now)
+        packet.label = label
+        state.seq += 1
+        self.forward(packet)
+        return True
+
+    def _epoch(self) -> None:
+        now = self.sim.now
+        for state in self._ingress.values():
+            if not state.active:
+                continue
+            losses = state.losses
+            state.losses = 0
+            new_rate = state.controller.on_epoch(losses, now)
+            state.pacer.set_rate(new_rate)
+
+    # -- egress role -----------------------------------------------------
+
+    def expect_flow(self, flow_id: int) -> None:
+        if flow_id in self._egress:
+            raise FlowError(f"flow {flow_id} already expected at {self.name}")
+        self._egress[flow_id] = _EgressFlow()
+
+    def delivered(self, flow_id: int) -> int:
+        return self._egress_state(flow_id).meter.count
+
+    def take_throughput(self, flow_id: int) -> float:
+        return self._egress_state(flow_id).meter.take_rate(self.sim.now)
+
+    def losses(self, flow_id: int) -> int:
+        return self._egress_state(flow_id).lost
+
+    def delay_stats(self, flow_id: int) -> DelayTracker:
+        """One-way delay statistics for a flow delivered at this egress."""
+        return self._egress_state(flow_id).delay
+
+    def _egress_state(self, flow_id: int) -> _EgressFlow:
+        try:
+            return self._egress[flow_id]
+        except KeyError:
+            raise FlowError(f"{self.name}: unknown egress flow {flow_id}") from None
+
+    def _deliver_local(self, packet: Packet) -> None:
+        state = self._egress.get(packet.flow_id)
+        if state is None:
+            raise FlowError(
+                f"{self.name}: packet for unexpected flow {packet.flow_id} "
+                f"(call expect_flow first)"
+            )
+        if packet.kind != PacketKind.DATA:
+            return
+        if state.expected_seq is not None and packet.seq > state.expected_seq:
+            gap = packet.seq - state.expected_seq
+            state.lost += gap
+            self._report_loss(packet, gap)
+        if packet.ecn:
+            # DECbit-style marking: a congestion indication without a loss
+            # (only set by the ABL-AQM DecbitQueue; CSFQ itself drops).
+            state.ecn_marks += 1
+            self._report_loss(packet, 1)
+        state.expected_seq = packet.seq + 1
+        state.meter.record()
+        state.delay.record(max(0.0, self.sim.now - packet.created_at))
+
+    def _report_loss(self, packet: Packet, gap: int) -> None:
+        if self.loss_channel is None:
+            return
+        notify = Packet(
+            PacketKind.LOSS_NOTIFY,
+            packet.flow_id,
+            src=self.name,
+            dst=packet.src,
+            size=0.0,
+            label=float(gap),
+            created_at=self.sim.now,
+        )
+        self.loss_channel(notify)
+
+    # -- shared receive path -------------------------------------------------
+
+    def receive(self, packet: Packet, link) -> None:
+        if packet.dst == self.name:
+            self._deliver_local(packet)
+        else:
+            self.forward(packet)

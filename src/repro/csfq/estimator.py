@@ -1,0 +1,11 @@
+"""Backward-compatible re-export.
+
+The exponential averaging estimator began life here (it is the CSFQ rate
+estimator of SIGCOMM'98) but is also used by the Corelite edge to label
+markers of non-backlogged flows, so the implementation lives in the
+neutral :mod:`repro.sim.estimators`.
+"""
+
+from repro.sim.estimators import ExponentialRateEstimator
+
+__all__ = ["ExponentialRateEstimator"]

@@ -1,0 +1,35 @@
+"""Experiment harness: topologies, scenarios, runners and figure generators.
+
+* :mod:`repro.experiments.network` — high-level builders that assemble a
+  Corelite or CSFQ cloud (simulator + topology + edges + cores + control
+  plane) and run flow schedules.
+* :mod:`repro.experiments.runner` — result containers: per-flow rate /
+  throughput / cumulative-service series plus expected-rate computation.
+* :mod:`repro.experiments.scenarios` — the paper's §4 flow sets and
+  schedules (Topology 1 weights, staggered entry, churn).
+* :mod:`repro.experiments.figures` — one generator per paper figure
+  (Figures 3-10); each returns the series the figure plots.
+* :mod:`repro.experiments.ablations` — parameter sweeps (epoch size,
+  qthresh, the Fn constant ``k``, feedback scheme).
+* :mod:`repro.experiments.report` — ASCII tables and charts for the CLI
+  and the examples.
+"""
+
+from repro.experiments.network import (
+    BaseNetwork,
+    CoreliteNetwork,
+    CsfqNetwork,
+    FifoLossNetwork,
+    FlowSpec,
+)
+from repro.experiments.runner import FlowRecord, RunResult
+
+__all__ = [
+    "FlowSpec",
+    "BaseNetwork",
+    "CoreliteNetwork",
+    "CsfqNetwork",
+    "FifoLossNetwork",
+    "RunResult",
+    "FlowRecord",
+]

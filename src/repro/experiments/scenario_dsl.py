@@ -1,0 +1,178 @@
+"""Declarative scenarios: experiments as plain dicts / JSON files.
+
+Downstream users shouldn't need to write harness code to try a topology:
+``run_scenario`` builds and runs a cloud from a JSON-compatible dict, and
+``corelite run scenario.json`` does it from the shell.  Example::
+
+    {
+      "scheme": "corelite",
+      "seed": 3,
+      "duration": 120,
+      "network": {"num_cores": 2, "core_capacity_pps": 500},
+      "config": {"edge_epoch": 0.3},
+      "flows": [
+        {"id": 1, "weight": 1},
+        {"id": 2, "weight": 2, "schedule": [[10, 60], [70, null]]},
+        {"id": 3, "weight": 1, "source": {"kind": "poisson", "mean_rate": 60}},
+        {"id": 4, "weight": 1, "transport": "tcp"}
+      ]
+    }
+
+Unknown keys are rejected (silent typos in experiment definitions are the
+classic way to benchmark the wrong thing).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, Mapping, Tuple
+
+from repro.core.config import CoreliteConfig, FeedbackScheme
+from repro.csfq.config import CsfqConfig
+from repro.errors import ConfigurationError
+from repro.experiments.network import (
+    BaseNetwork,
+    CoreliteNetwork,
+    CsfqNetwork,
+    FifoLossNetwork,
+    FlowSpec,
+)
+from repro.experiments.runner import RunResult
+from repro.sim.sources import SourceSpec, onoff_source, poisson_source, transfer_source
+
+__all__ = ["build_network", "run_scenario", "load_scenario_file"]
+
+_SCHEMES = {
+    "corelite": CoreliteNetwork,
+    "csfq": CsfqNetwork,
+    "fifo": FifoLossNetwork,
+}
+
+_TOP_KEYS = {"scheme", "seed", "duration", "sample_interval", "record_queues",
+             "network", "config", "flows"}
+_NETWORK_KEYS = {"num_cores", "core_capacity_pps", "access_capacity_pps",
+                 "prop_delay", "queue_capacity", "control_loss_prob",
+                 "core_links"}
+_FLOW_KEYS = {"id", "weight", "ingress", "egress", "schedule", "min_rate",
+              "source", "transport", "micro_flows"}
+_SOURCE_KEYS = {"kind", "mean_rate", "peak_rate", "mean_on", "mean_off",
+                "total_packets"}
+
+
+def _reject_unknown(mapping: Mapping, allowed: set, where: str) -> None:
+    unknown = set(mapping) - allowed
+    if unknown:
+        raise ConfigurationError(f"{where}: unknown keys {sorted(unknown)}")
+
+
+def _parse_source(spec: Mapping) -> SourceSpec:
+    _reject_unknown(spec, _SOURCE_KEYS, "source")
+    kind = spec.get("kind")
+    if kind == "poisson":
+        return poisson_source(float(spec["mean_rate"]))
+    if kind == "onoff":
+        return onoff_source(
+            float(spec["peak_rate"]), float(spec["mean_on"]), float(spec["mean_off"])
+        )
+    if kind == "transfer":
+        return transfer_source(int(spec["total_packets"]), float(spec["peak_rate"]))
+    raise ConfigurationError(f"source: unknown kind {kind!r}")
+
+
+def _parse_schedule(raw) -> Tuple[Tuple[float, float], ...]:
+    periods = []
+    for entry in raw:
+        if len(entry) != 2:
+            raise ConfigurationError(f"schedule period must be [start, stop]: {entry!r}")
+        start, stop = entry
+        periods.append((float(start), math.inf if stop is None else float(stop)))
+    return tuple(periods)
+
+
+def _parse_flow(raw: Mapping, default_ingress: str, default_egress: str) -> FlowSpec:
+    _reject_unknown(raw, _FLOW_KEYS, f"flow {raw.get('id')!r}")
+    if "id" not in raw:
+        raise ConfigurationError("every flow needs an 'id'")
+    kwargs: Dict[str, object] = {
+        "flow_id": int(raw["id"]),
+        "weight": float(raw.get("weight", 1.0)),
+        "ingress_core": raw.get("ingress", default_ingress),
+        "egress_core": raw.get("egress", default_egress),
+        "min_rate": float(raw.get("min_rate", 0.0)),
+        "transport": raw.get("transport", "shaped"),
+    }
+    if "schedule" in raw:
+        kwargs["schedule"] = _parse_schedule(raw["schedule"])
+    if "source" in raw:
+        kwargs["source"] = _parse_source(raw["source"])
+    if "micro_flows" in raw:
+        kwargs["micro_flows"] = tuple(
+            (int(mid), _parse_source(source)) for mid, source in raw["micro_flows"]
+        )
+    return FlowSpec(**kwargs)  # type: ignore[arg-type]
+
+
+def build_network(scenario: Mapping) -> BaseNetwork:
+    """Construct the network (with flows attached) from a scenario dict."""
+    _reject_unknown(scenario, _TOP_KEYS, "scenario")
+    scheme = scenario.get("scheme", "corelite")
+    if scheme not in _SCHEMES:
+        raise ConfigurationError(
+            f"unknown scheme {scheme!r}; pick one of {sorted(_SCHEMES)}"
+        )
+    network_raw = dict(scenario.get("network", {}))
+    _reject_unknown(network_raw, _NETWORK_KEYS, "network")
+    if "core_links" in network_raw:
+        network_raw["core_links"] = [
+            (str(a), str(b), float(cap), float(delay))
+            for a, b, cap, delay in network_raw["core_links"]
+        ]
+
+    config = None
+    config_raw = scenario.get("config")
+    if config_raw:
+        if scheme == "corelite":
+            if "feedback_scheme" in config_raw:
+                config_raw = dict(config_raw)
+                config_raw["feedback_scheme"] = FeedbackScheme(
+                    config_raw["feedback_scheme"]
+                )
+            config = CoreliteConfig(**config_raw)
+        else:
+            config = CsfqConfig(**config_raw)
+
+    cls = _SCHEMES[scheme]
+    kwargs = dict(network_raw)
+    kwargs["seed"] = int(scenario.get("seed", 0))
+    if config is not None:
+        kwargs["config"] = config
+    net = cls(**kwargs)  # type: ignore[arg-type]
+
+    flows_raw = scenario.get("flows")
+    if not flows_raw:
+        raise ConfigurationError("scenario needs at least one flow")
+    first, last = net.core_names[0], net.core_names[-1]
+    for raw in flows_raw:
+        net.add_flow(_parse_flow(raw, default_ingress=first, default_egress=last))
+    return net
+
+
+def run_scenario(scenario: Mapping) -> RunResult:
+    """Build and run a scenario; returns the usual :class:`RunResult`."""
+    net = build_network(scenario)
+    duration = float(scenario.get("duration", 60.0))
+    return net.run(
+        until=duration,
+        sample_interval=float(scenario.get("sample_interval", 1.0)),
+        record_queues=bool(scenario.get("record_queues", False)),
+    )
+
+
+def load_scenario_file(path: str) -> Dict:
+    """Read a scenario JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        scenario = json.load(fh)
+    if not isinstance(scenario, dict):
+        raise ConfigurationError(f"{path}: scenario must be a JSON object")
+    return scenario

@@ -1,0 +1,153 @@
+"""The paper's §4 workloads.
+
+Topology 1 (Figure 2) is a chain of four cores with three congested links
+C1-C2, C2-C3, C3-C4.  Twenty flows are mapped onto it so that:
+
+* flows 1-5 cross only C1-C2, flows 11-12 only C2-C3, flows 16-20 only
+  C3-C4 (RTT 240 ms);
+* flows 6-8 cross C1-C2 and C2-C3, flows 13-15 cross C2-C3 and C3-C4
+  (RTT 320 ms);
+* flows 9-10 cross all three congested links (RTT 400 ms).
+
+Two weight assignments appear in the paper:
+
+* ``WEIGHTS_41`` (§4.1, Figures 3/4): flows 5 and 15 have weight 3, flows
+  1, 11 and 16 weight 1, all others weight 2 — every congested link then
+  carries exactly 20 weight units, so the expected fair share is 25 pkt/s
+  per unit weight (33.33 when flows 1, 9, 10, 11, 16 are absent).
+* ``WEIGHTS_43`` (§4.3, Figures 7-10): flows 1, 11, 16 have weight 1 and
+  flows 5, 10, 15 weight 3, all others 2.
+
+§4.2 (Figures 5/6) instead uses ten flows with weight ``ceil(i/2)`` on a
+single congested link.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.experiments.network import FlowSpec
+
+__all__ = [
+    "PATH_ASSIGNMENT",
+    "WEIGHTS_41",
+    "WEIGHTS_43",
+    "topology1_flows",
+    "startup_flows",
+    "staggered_schedule",
+    "churn_schedule",
+    "fig3_schedule",
+]
+
+#: flow id -> (ingress core, egress core) on Topology 1.
+PATH_ASSIGNMENT: Dict[int, Tuple[str, str]] = {}
+for _fid in range(1, 6):
+    PATH_ASSIGNMENT[_fid] = ("C1", "C2")
+for _fid in range(6, 9):
+    PATH_ASSIGNMENT[_fid] = ("C1", "C3")
+for _fid in range(9, 11):
+    PATH_ASSIGNMENT[_fid] = ("C1", "C4")
+for _fid in range(11, 13):
+    PATH_ASSIGNMENT[_fid] = ("C2", "C3")
+for _fid in range(13, 16):
+    PATH_ASSIGNMENT[_fid] = ("C2", "C4")
+for _fid in range(16, 21):
+    PATH_ASSIGNMENT[_fid] = ("C3", "C4")
+
+
+def _weights(threes: Tuple[int, ...], ones: Tuple[int, ...]) -> Dict[int, float]:
+    weights = {}
+    for fid in range(1, 21):
+        if fid in threes:
+            weights[fid] = 3.0
+        elif fid in ones:
+            weights[fid] = 1.0
+        else:
+            weights[fid] = 2.0
+    return weights
+
+
+#: §4.1 weights: each congested link carries exactly 20 weight units.
+WEIGHTS_41: Dict[int, float] = _weights(threes=(5, 15), ones=(1, 11, 16))
+
+#: §4.3 weights (note flow 10, not 5/15 only, carries weight 3 here).
+WEIGHTS_43: Dict[int, float] = _weights(threes=(5, 10, 15), ones=(1, 11, 16))
+
+
+def topology1_flows(
+    weights: Dict[int, float],
+    schedules: Dict[int, Tuple[Tuple[float, float], ...]],
+) -> List[FlowSpec]:
+    """Build the 20 Topology-1 flow specs with the given weights/schedules."""
+    if set(weights) != set(PATH_ASSIGNMENT):
+        raise ConfigurationError("weights must cover flows 1..20 exactly")
+    specs = []
+    for fid in sorted(PATH_ASSIGNMENT):
+        ingress, egress = PATH_ASSIGNMENT[fid]
+        specs.append(
+            FlowSpec(
+                flow_id=fid,
+                weight=weights[fid],
+                ingress_core=ingress,
+                egress_core=egress,
+                schedule=schedules.get(fid, ((0.0, math.inf),)),
+            )
+        )
+    return specs
+
+
+def fig3_schedule(scale: float = 1.0) -> Dict[int, Tuple[Tuple[float, float], ...]]:
+    """§4.1 dynamics: flows 1, 9, 10, 11, 16 live on [250, 500) s; the rest
+    on [0, 750) s.  ``scale`` compresses all times (benches run scale<1)."""
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be positive, got {scale}")
+    late = ((250.0 * scale, 500.0 * scale),)
+    normal = ((0.0, 750.0 * scale),)
+    return {fid: (late if fid in (1, 9, 10, 11, 16) else normal) for fid in range(1, 21)}
+
+
+def startup_flows(num_flows: int = 10) -> List[FlowSpec]:
+    """§4.2 workload: ``num_flows`` flows, weight of flow i = ceil(i/2),
+    all sharing the single congested link of a 2-core network."""
+    if num_flows < 1:
+        raise ConfigurationError(f"num_flows must be >= 1, got {num_flows}")
+    return [
+        FlowSpec(
+            flow_id=i,
+            weight=float(math.ceil(i / 2)),
+            ingress_core="C1",
+            egress_core="C2",
+        )
+        for i in range(1, num_flows + 1)
+    ]
+
+
+def staggered_schedule(
+    num_flows: int = 20, gap: float = 1.0
+) -> Dict[int, Tuple[Tuple[float, float], ...]]:
+    """§4.3 entry dynamics: flow i starts at ``i * gap`` seconds."""
+    if gap < 0:
+        raise ConfigurationError(f"gap must be >= 0, got {gap}")
+    return {fid: ((fid * gap, math.inf),) for fid in range(1, num_flows + 1)}
+
+
+def churn_schedule(
+    num_flows: int = 20,
+    gap: float = 1.0,
+    lifetime: float = 60.0,
+    restart_after: float = 5.0,
+) -> Dict[int, Tuple[Tuple[float, float], ...]]:
+    """§4.3 churn (Figures 9/10): flow i starts at ``i * gap``, lives
+    ``lifetime`` seconds, stops, and restarts ``restart_after`` seconds
+    later for the rest of the run."""
+    for name, value in (("gap", gap), ("lifetime", lifetime), ("restart_after", restart_after)):
+        if value <= 0:
+            raise ConfigurationError(f"{name} must be positive, got {value}")
+    schedules = {}
+    for fid in range(1, num_flows + 1):
+        start = fid * gap
+        stop = start + lifetime
+        schedules[fid] = ((start, stop), (stop + restart_after, math.inf))
+    return schedules

@@ -1,0 +1,186 @@
+"""Dependency-free SVG line charts.
+
+The evaluation environment has no plotting stack, but the paper's figures
+are plain rate-vs-time line plots — easy to emit as standalone SVG.
+:func:`save_series_svg` renders a set of :class:`~repro.sim.monitor.
+Series` with axes, ticks, a legend and one polyline per series, visually
+comparable to the paper's Figures 3–10.  ``corelite <figure> --svg-dir``
+writes one file per scheme.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Mapping, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.monitor import Series
+
+__all__ = ["render_series_svg", "save_series_svg"]
+
+#: Distinguishable default stroke palette (looped when series exceed it).
+PALETTE = (
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+    "#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+)
+
+_MARGIN_LEFT = 64
+_MARGIN_RIGHT = 24
+_MARGIN_TOP = 40
+_MARGIN_BOTTOM = 48
+_LEGEND_ROW = 16
+
+
+def _nice_ticks(lo: float, hi: float, target: int = 6) -> List[float]:
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw_step = (hi - lo) / max(1, target)
+    magnitude = 10 ** math.floor(math.log10(raw_step))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * magnitude
+        if step >= raw_step:
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    value = first
+    while value <= hi + 1e-9:
+        ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def render_series_svg(
+    series: Mapping[str, Series],
+    title: str = "",
+    x_label: str = "time (s)",
+    y_label: str = "pkt/s",
+    width: int = 720,
+    height: int = 420,
+    y_max: Optional[float] = None,
+) -> str:
+    """Render the series as an SVG document string."""
+    if not series:
+        raise ConfigurationError("nothing to plot")
+    if width < 200 or height < 150:
+        raise ConfigurationError("SVG too small to be legible")
+    populated = {name: s for name, s in series.items() if len(s)}
+    if not populated:
+        raise ConfigurationError("all series are empty")
+
+    x_min = min(s.times[0] for s in populated.values())
+    x_max = max(s.times[-1] for s in populated.values())
+    if x_max <= x_min:
+        x_max = x_min + 1.0
+    y_min = 0.0
+    if y_max is None:
+        y_max = max(max(s.values) for s in populated.values())
+    if y_max <= y_min:
+        y_max = y_min + 1.0
+
+    legend_height = _LEGEND_ROW * ((len(populated) + 2) // 3)
+    plot_w = width - _MARGIN_LEFT - _MARGIN_RIGHT
+    plot_h = height - _MARGIN_TOP - _MARGIN_BOTTOM - legend_height
+
+    def sx(x: float) -> float:
+        return _MARGIN_LEFT + (x - x_min) / (x_max - x_min) * plot_w
+
+    def sy(y: float) -> float:
+        return _MARGIN_TOP + (1.0 - (y - y_min) / (y_max - y_min)) * plot_h
+
+    parts: List[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="11">'
+    )
+    parts.append(f'<rect width="{width}" height="{height}" fill="white"/>')
+    if title:
+        parts.append(
+            f'<text x="{width / 2:.0f}" y="20" text-anchor="middle" '
+            f'font-size="14">{_escape(title)}</text>'
+        )
+
+    # Axes frame and gridlines.
+    parts.append(
+        f'<rect x="{_MARGIN_LEFT}" y="{_MARGIN_TOP}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#333"/>'
+    )
+    for tick in _nice_ticks(y_min, y_max):
+        y = sy(tick)
+        if not (_MARGIN_TOP - 1 <= y <= _MARGIN_TOP + plot_h + 1):
+            continue
+        parts.append(
+            f'<line x1="{_MARGIN_LEFT}" y1="{y:.1f}" '
+            f'x2="{_MARGIN_LEFT + plot_w}" y2="{y:.1f}" '
+            f'stroke="#ddd" stroke-width="0.5"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_LEFT - 6}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{tick:g}</text>'
+        )
+    for tick in _nice_ticks(x_min, x_max):
+        x = sx(tick)
+        if not (_MARGIN_LEFT - 1 <= x <= _MARGIN_LEFT + plot_w + 1):
+            continue
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{_MARGIN_TOP}" x2="{x:.1f}" '
+            f'y2="{_MARGIN_TOP + plot_h}" stroke="#ddd" stroke-width="0.5"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{_MARGIN_TOP + plot_h + 16}" '
+            f'text-anchor="middle">{tick:g}</text>'
+        )
+
+    # Axis labels.
+    parts.append(
+        f'<text x="{_MARGIN_LEFT + plot_w / 2:.0f}" '
+        f'y="{_MARGIN_TOP + plot_h + 34}" text-anchor="middle">'
+        f"{_escape(x_label)}</text>"
+    )
+    parts.append(
+        f'<text x="16" y="{_MARGIN_TOP + plot_h / 2:.0f}" '
+        f'text-anchor="middle" transform="rotate(-90 16 '
+        f'{_MARGIN_TOP + plot_h / 2:.0f})">{_escape(y_label)}</text>'
+    )
+
+    # Polylines.
+    for index, (name, s) in enumerate(populated.items()):
+        color = PALETTE[index % len(PALETTE)]
+        points = " ".join(
+            f"{sx(t):.1f},{sy(min(v, y_max)):.1f}" for t, v in s
+        )
+        parts.append(
+            f'<polyline fill="none" stroke="{color}" stroke-width="1.3" '
+            f'points="{points}"/>'
+        )
+
+    # Legend (three columns under the plot).
+    legend_top = _MARGIN_TOP + plot_h + 40
+    col_width = plot_w / 3
+    for index, name in enumerate(populated):
+        color = PALETTE[index % len(PALETTE)]
+        col, row = index % 3, index // 3
+        x = _MARGIN_LEFT + col * col_width
+        y = legend_top + row * _LEGEND_ROW
+        parts.append(
+            f'<line x1="{x:.0f}" y1="{y - 4:.0f}" x2="{x + 18:.0f}" '
+            f'y2="{y - 4:.0f}" stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(f'<text x="{x + 24:.0f}" y="{y:.0f}">{_escape(name)}</text>')
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_series_svg(path: str, series: Mapping[str, Series], **kwargs) -> None:
+    """Render and write an SVG chart to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_series_svg(series, **kwargs))

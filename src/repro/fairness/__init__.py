@@ -1,0 +1,40 @@
+"""Weighted max-min reference allocations and fairness metrics.
+
+The paper defines weighted rate fairness as max-min fairness of the
+*normalized* rates ``b(i)/w(i)`` (§2.1).  :mod:`repro.fairness.maxmin`
+computes the exact weighted max-min allocation for a set of flows over a
+capacitated topology by water-filling — this produces the "expected rates"
+the paper compares its simulations against (§4.1).
+:mod:`repro.fairness.metrics` provides Jain's fairness index, its weighted
+variant, and convergence-time measures used by the benchmarks.
+"""
+
+from repro.fairness.chiu_jain import (
+    FluidTrace,
+    convergence_epochs,
+    simulate_fluid_limd,
+)
+from repro.fairness.maxmin import (
+    FlowDemand,
+    weighted_maxmin,
+    weighted_maxmin_with_minimums,
+)
+from repro.fairness.metrics import (
+    convergence_time,
+    jain_index,
+    mean_absolute_error,
+    weighted_jain_index,
+)
+
+__all__ = [
+    "FlowDemand",
+    "weighted_maxmin",
+    "weighted_maxmin_with_minimums",
+    "jain_index",
+    "weighted_jain_index",
+    "convergence_time",
+    "mean_absolute_error",
+    "FluidTrace",
+    "simulate_fluid_limd",
+    "convergence_epochs",
+]

@@ -1,0 +1,120 @@
+"""A Chiu–Jain style fluid model of the Corelite control loop.
+
+The paper grounds its convergence claim in Chiu & Jain's analysis of
+linear-increase/multiplicative-decrease ("the decrease function ... is
+effectively a weighted variant of the well known LIMD rate adaptation
+algorithm that is known to converge to fairness").  This module makes the
+claim checkable without packets: a discrete-time fluid iteration of N
+rates under idealized Corelite feedback —
+
+* every epoch each flow adds ``alpha``;
+* when the aggregate exceeds capacity, each flow is throttled by
+  ``beta * k * b_i / w_i`` with ``k`` chosen so the aggregate returns
+  toward capacity — the idealization of "feedback proportional to the
+  normalized rate".
+
+The fixed point of that map is the weighted-fair allocation, and the
+iteration converges from any starting vector.  ``tests/test_chiu_jain.py``
+checks both the fluid model's own convergence and its agreement with the
+packet simulator's steady state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.fairness.metrics import weighted_jain_index
+
+__all__ = ["FluidTrace", "simulate_fluid_limd", "convergence_epochs"]
+
+
+@dataclass
+class FluidTrace:
+    """Rate-vector history of one fluid run."""
+
+    weights: Tuple[float, ...]
+    capacity: float
+    history: List[Tuple[float, ...]]
+
+    @property
+    def final(self) -> Tuple[float, ...]:
+        return self.history[-1]
+
+    def fairness(self) -> float:
+        """Weighted Jain index of the final vector."""
+        return weighted_jain_index(list(self.final), list(self.weights))
+
+    def aggregate(self) -> float:
+        return sum(self.final)
+
+
+def simulate_fluid_limd(
+    weights: Sequence[float],
+    capacity: float,
+    epochs: int = 2000,
+    alpha: float = 1.0,
+    initial: Sequence[float] = (),
+) -> FluidTrace:
+    """Iterate the idealized weighted-LIMD map.
+
+    Decrease model: when the aggregate ``B`` exceeds ``capacity``, the
+    core returns feedback worth ``B - capacity + N*alpha`` units of
+    throttling (enough to undo the overshoot plus the next round of
+    increases), split across flows in proportion to their normalized
+    rates ``b_i/w_i`` — exactly what proportional marker feedback does in
+    expectation.  ``beta`` does not appear: the per-marker throttle and
+    the marker count cancel in expectation (half the markers at twice the
+    weight is the same aggregate throttle), which is itself a property
+    worth knowing.
+    """
+    weights = tuple(float(w) for w in weights)
+    if not weights or any(w <= 0 for w in weights):
+        raise ConfigurationError("weights must be non-empty and positive")
+    if capacity <= 0:
+        raise ConfigurationError(f"capacity must be positive, got {capacity}")
+    if epochs < 1:
+        raise ConfigurationError(f"epochs must be >= 1, got {epochs}")
+    if alpha <= 0:
+        raise ConfigurationError("alpha must be positive")
+    n = len(weights)
+    rates = list(float(r) for r in initial) if initial else [alpha] * n
+    if len(rates) != n or any(r < 0 for r in rates):
+        raise ConfigurationError("initial rates must match weights and be >= 0")
+
+    history: List[Tuple[float, ...]] = [tuple(rates)]
+    for _ in range(epochs):
+        rates = [r + alpha for r in rates]
+        aggregate = sum(rates)
+        if aggregate > capacity:
+            needed = (aggregate - capacity) + n * alpha  # undo + next probes
+            normalized_total = sum(r / w for r, w in zip(rates, weights))
+            if normalized_total > 0:
+                scale = needed / normalized_total
+                rates = [
+                    max(0.0, r - scale * (r / w))
+                    for r, w in zip(rates, weights)
+                ]
+        history.append(tuple(rates))
+    return FluidTrace(weights=weights, capacity=capacity, history=history)
+
+
+def convergence_epochs(
+    trace: FluidTrace, tolerance: float = 0.02
+) -> int:
+    """First epoch after which the weighted Jain index stays above
+    ``1 - tolerance`` for the remainder of the run; -1 if never."""
+    if not 0 < tolerance < 1:
+        raise ConfigurationError(f"tolerance must be in (0,1), got {tolerance}")
+    threshold = 1.0 - tolerance
+    settled = -1
+    for epoch, rates in enumerate(trace.history):
+        if sum(rates) == 0:
+            continue
+        if weighted_jain_index(list(rates), list(trace.weights)) >= threshold:
+            if settled < 0:
+                settled = epoch
+        else:
+            settled = -1
+    return settled

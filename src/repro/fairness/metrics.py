@@ -1,0 +1,157 @@
+"""Fairness and convergence metrics.
+
+Used by tests and benchmarks to turn the simulator's rate series into the
+quantities the paper argues about: how fair the steady state is (Jain's
+index over normalized rates), how close measured rates are to the weighted
+max-min expectation, and how quickly each scheme converges (the paper's
+central Corelite-vs-CSFQ claim).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.monitor import Series
+
+__all__ = [
+    "jain_index",
+    "weighted_jain_index",
+    "mean_absolute_error",
+    "max_relative_error",
+    "convergence_time",
+    "time_in_band",
+]
+
+
+def jain_index(rates: Sequence[float]) -> float:
+    """Jain's fairness index ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 means perfectly equal; ``1/n`` means one flow takes everything.
+    An all-zero vector is defined as perfectly fair (index 1.0).
+    """
+    rates = list(rates)
+    if not rates:
+        raise ConfigurationError("jain_index needs at least one rate")
+    if any(r < 0 for r in rates):
+        raise ConfigurationError("rates must be non-negative")
+    total = sum(rates)
+    square_sum = sum(r * r for r in rates)
+    if total == 0.0 or square_sum == 0.0:
+        # All zero, or so small that the squares underflow: treat as equal.
+        return 1.0
+    return (total * total) / (len(rates) * square_sum)
+
+
+def weighted_jain_index(rates: Sequence[float], weights: Sequence[float]) -> float:
+    """Jain's index of the normalized rates ``b(i)/w(i)`` (paper §2.1).
+
+    This is the fairness measure matching the paper's service model: a
+    perfectly weighted-fair allocation on a shared bottleneck scores 1.0.
+    """
+    rates = list(rates)
+    weights = list(weights)
+    if len(rates) != len(weights):
+        raise ConfigurationError(
+            f"rates ({len(rates)}) and weights ({len(weights)}) differ in length"
+        )
+    if any(w <= 0 for w in weights):
+        raise ConfigurationError("weights must be positive")
+    return jain_index([r / w for r, w in zip(rates, weights)])
+
+
+def mean_absolute_error(
+    measured: Mapping[object, float], expected: Mapping[object, float]
+) -> float:
+    """Mean |measured - expected| over the keys of ``expected``."""
+    if not expected:
+        raise ConfigurationError("expected mapping is empty")
+    missing = [key for key in expected if key not in measured]
+    if missing:
+        raise ConfigurationError(f"measured rates missing for {missing!r}")
+    return sum(abs(measured[key] - expected[key]) for key in expected) / len(expected)
+
+
+def max_relative_error(
+    measured: Mapping[object, float], expected: Mapping[object, float]
+) -> float:
+    """Max |measured - expected| / expected over keys with expected > 0."""
+    worst = 0.0
+    any_key = False
+    for key, value in expected.items():
+        if value <= 0:
+            continue
+        any_key = True
+        if key not in measured:
+            raise ConfigurationError(f"measured rates missing for {key!r}")
+        worst = max(worst, abs(measured[key] - value) / value)
+    if not any_key:
+        raise ConfigurationError("no positive expected values")
+    return worst
+
+
+def convergence_time(
+    series: Series,
+    target: float,
+    tolerance: float = 0.2,
+    hold: float = 5.0,
+    start: float = 0.0,
+) -> Optional[float]:
+    """First time after which the series stays within ``tolerance * target``.
+
+    Scans samples from ``start`` onward and returns the earliest time ``t``
+    such that every subsequent sample up to the end of the series satisfies
+    ``|value - target| <= tolerance * target``, provided the series covers
+    at least ``hold`` seconds past ``t``.  Returns ``None`` if the series
+    never settles.
+
+    This is the measure behind the paper's "Corelite converges more than 30
+    seconds faster than CSFQ" claim (§4.2).
+    """
+    if target <= 0:
+        raise ConfigurationError(f"target must be positive, got {target}")
+    if tolerance <= 0:
+        raise ConfigurationError(f"tolerance must be positive, got {tolerance}")
+    band = tolerance * target
+    times = series.times
+    values = series.values
+    if not times:
+        return None
+    end_time = times[-1]
+    settle_at: Optional[float] = None
+    for t, v in zip(times, values):
+        if t < start:
+            continue
+        if abs(v - target) <= band:
+            if settle_at is None:
+                settle_at = t
+        else:
+            settle_at = None
+    if settle_at is None:
+        return None
+    if end_time - settle_at < hold:
+        return None
+    return settle_at
+
+
+def time_in_band(
+    series: Series,
+    target: float,
+    tolerance: float = 0.2,
+    t0: float = 0.0,
+    t1: float = math.inf,
+) -> float:
+    """Fraction of samples in ``[t0, t1]`` within ``tolerance * target``.
+
+    A robustness measure for churn scenarios (Figures 9/10), where a flow
+    repeatedly enters and leaves and "converged" is never permanent.
+    """
+    if target <= 0:
+        raise ConfigurationError(f"target must be positive, got {target}")
+    window = series.window(t0, t1)
+    if len(window) == 0:
+        return 0.0
+    band = tolerance * target
+    hits = sum(1 for v in window.values if abs(v - target) <= band)
+    return hits / len(window)

@@ -1,0 +1,17 @@
+"""End hosts (the paper's §4.4/§6 edge-host interaction, made concrete).
+
+The evaluation's source agents live *inside* the edge router; the paper
+lists "agents like TCP which involve interaction between the edge router
+and end-host" as ongoing work.  This package provides that interaction:
+a window-based Reno-style TCP sender/receiver pair
+(:mod:`repro.hosts.tcp`) attached to the cloud through host links.  The
+ingress edge shapes the TCP stream to the flow's Corelite-allotted rate
+``bg(f)`` with a finite shaper buffer (dropping the excess at the edge,
+exactly as §6 describes), and TCP's congestion control adapts to that
+policing — so a weight-blind transport ends up receiving its weighted
+fair share.
+"""
+
+from repro.hosts.tcp import TcpReceiver, TcpSender
+
+__all__ = ["TcpSender", "TcpReceiver"]

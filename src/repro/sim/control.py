@@ -1,0 +1,81 @@
+"""Control plane for feedback traffic.
+
+Corelite's feedback markers and the CSFQ baseline's loss notifications are
+tiny control packets.  Routing them through the data queues would add code
+and events without changing behaviour (they are ≪1% of a data packet), so
+the simulator delivers them directly after the *reverse-path propagation
+delay* — the component of the feedback latency that actually shapes the
+control loop (see DESIGN.md §3 for the substitution rationale).
+
+For robustness experiments the control plane can drop packets with a
+configured probability (``loss_prob``): real feedback markers are plain
+datagrams with no delivery guarantee, so the control loop must degrade
+gracefully when some are lost.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+from repro.sim.topology import Topology
+
+__all__ = ["ControlPlane"]
+
+
+class ControlPlane:
+    """Propagation-delay-accurate delivery of control packets."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        loss_prob: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not 0.0 <= loss_prob < 1.0:
+            raise ConfigurationError(f"loss_prob must be in [0, 1), got {loss_prob}")
+        if loss_prob > 0.0 and rng is None:
+            raise ConfigurationError("a lossy control plane needs an rng")
+        self.sim = sim
+        self.topology = topology
+        self.loss_prob = loss_prob
+        self._rng = rng
+        self._delay_cache: Dict[Tuple[str, str], float] = {}
+        #: Total control packets delivered (for accounting/tests).
+        self.delivered = 0
+        #: Control packets lost by the injected fault model.
+        self.lost = 0
+
+    def delay(self, src: str, dst: str) -> float:
+        """Propagation delay from ``src`` to ``dst`` (cached)."""
+        key = (src, dst)
+        delay = self._delay_cache.get(key)
+        if delay is None:
+            delay = self.topology.path_delay(src, dst)
+            self._delay_cache[key] = delay
+        return delay
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        deliver: Callable[[Packet], None],
+        packet: Packet,
+    ) -> None:
+        """Deliver ``packet`` to ``deliver`` after the src->dst path delay.
+
+        With a configured ``loss_prob`` the packet may silently vanish
+        instead (counted in :attr:`lost`).
+        """
+        if self.loss_prob > 0.0 and self._rng.random() < self.loss_prob:
+            self.lost += 1
+            return
+        self.sim.schedule(self.delay(src, dst), self._deliver, deliver, packet)
+
+    def _deliver(self, deliver: Callable[[Packet], None], packet: Packet) -> None:
+        self.delivered += 1
+        deliver(packet)

@@ -1,0 +1,94 @@
+"""Per-flow one-way delay statistics.
+
+QoS is not only rate: a Corelite cloud's feedback keeps queues near
+``qthresh``, so packet delays should sit near ``propagation +
+qthresh/mu`` rather than ``propagation + buffer/mu``.  The egress edges
+feed every delivered data packet's one-way delay (creation at the
+ingress shaper to egress delivery) into a :class:`DelayTracker`:
+constant-memory running statistics plus a reservoir sample for
+percentile estimates.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["DelayTracker"]
+
+
+class DelayTracker:
+    """Running delay statistics with an optional reservoir for quantiles."""
+
+    __slots__ = ("count", "total", "total_sq", "min", "max", "_reservoir", "_capacity", "_rng")
+
+    def __init__(self, reservoir: int = 512, seed: int = 0) -> None:
+        if reservoir < 0:
+            raise ConfigurationError(f"reservoir must be >= 0, got {reservoir}")
+        self.count = 0
+        self.total = 0.0
+        self.total_sq = 0.0
+        self.min = math.inf
+        self.max = 0.0
+        self._capacity = reservoir
+        self._reservoir: List[float] = []
+        self._rng = random.Random(seed)
+
+    def record(self, delay: float) -> None:
+        if delay < 0:
+            raise ConfigurationError(f"delay must be >= 0, got {delay}")
+        self.count += 1
+        self.total += delay
+        self.total_sq += delay * delay
+        if delay < self.min:
+            self.min = delay
+        if delay > self.max:
+            self.max = delay
+        if self._capacity == 0:
+            return
+        if len(self._reservoir) < self._capacity:
+            self._reservoir.append(delay)
+        else:
+            # Vitter's algorithm R.
+            slot = self._rng.randrange(self.count)
+            if slot < self._capacity:
+                self._reservoir[slot] = delay
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def stdev(self) -> float:
+        if self.count < 2:
+            return 0.0
+        variance = self.total_sq / self.count - self.mean**2
+        return math.sqrt(max(0.0, variance))
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Approximate q-quantile (0..1) from the reservoir sample."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"q must be in [0, 1], got {q}")
+        if not self._reservoir:
+            return None
+        ordered = sorted(self._reservoir)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DelayTracker(n={self.count}, mean={self.mean * 1e3:.1f} ms)"

@@ -1,0 +1,144 @@
+"""Unidirectional links.
+
+A link models the output port of its upstream node: an output queue, a
+transmitter that serializes one packet at a time at ``bandwidth_pps``
+packets per second, and a propagation pipe of ``prop_delay`` seconds.
+Several packets can be in the propagation pipe simultaneously (the
+transmitter frees up as soon as serialization ends).
+
+Markers have size 0 and therefore serialize instantaneously — they are
+piggybacked on the data stream and consume no capacity (paper §2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+from repro.sim.queues import FifoQueue
+
+__all__ = ["Link"]
+
+DropListener = Callable[[Packet, float], None]
+
+
+class Link:
+    """A one-way link ``src -> dst`` with an output queue at ``src``."""
+
+    __slots__ = (
+        "sim",
+        "name",
+        "src_name",
+        "dst",
+        "bandwidth_pps",
+        "prop_delay",
+        "queue",
+        "busy",
+        "delivered_data",
+        "delivered_control",
+        "busy_time",
+        "_drop_listeners",
+        "_arrival_taps",
+        "_delivery_taps",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        src_name: str,
+        dst: "Node",
+        bandwidth_pps: float,
+        prop_delay: float,
+        queue: FifoQueue,
+    ) -> None:
+        if bandwidth_pps <= 0:
+            raise ConfigurationError(f"link bandwidth must be positive, got {bandwidth_pps}")
+        if prop_delay < 0:
+            raise ConfigurationError(f"propagation delay must be >= 0, got {prop_delay}")
+        self.sim = sim
+        self.name = name
+        self.src_name = src_name
+        self.dst = dst
+        self.bandwidth_pps = bandwidth_pps
+        self.prop_delay = prop_delay
+        self.queue = queue
+        self.busy = False
+        self.delivered_data = 0
+        self.delivered_control = 0
+        self.busy_time = 0.0
+        self._drop_listeners: list = []
+        self._arrival_taps: list = []
+        self._delivery_taps: list = []
+
+    # -- observation hooks ------------------------------------------------
+
+    def add_drop_listener(self, listener: DropListener) -> None:
+        """Call ``listener(packet, now)`` whenever the queue drops a packet."""
+        self._drop_listeners.append(listener)
+
+    def add_arrival_tap(self, tap: Callable[[Packet, float], Optional[bool]]) -> None:
+        """Install an ingress tap, called before a packet is enqueued.
+
+        A tap may *consume* the packet by returning ``True`` (used by the
+        CSFQ core, which drops probabilistically before the buffer).
+        Returning ``None``/``False`` lets the packet continue to the queue.
+        """
+        self._arrival_taps.append(tap)
+
+    def add_delivery_tap(self, tap: Callable[[Packet, float], None]) -> None:
+        """Call ``tap(packet, now)`` when a packet reaches the far end
+        (observation only — used by tracing and monitors)."""
+        self._delivery_taps.append(tap)
+
+    # -- data path ----------------------------------------------------------
+
+    def send(self, packet: Packet) -> bool:
+        """Offer ``packet`` to the link; returns False if it was dropped."""
+        now = self.sim.now
+        for tap in self._arrival_taps:
+            if tap(packet, now):
+                return False
+        if not self.queue.push(packet, now):
+            for listener in self._drop_listeners:
+                listener(packet, now)
+            return False
+        if not self.busy:
+            self._transmit_next()
+        return True
+
+    def _transmit_next(self) -> None:
+        packet = self.queue.pop(self.sim.now)
+        if packet is None:
+            self.busy = False
+            return
+        self.busy = True
+        tx_time = packet.size / self.bandwidth_pps
+        self.busy_time += tx_time
+        self.sim.schedule(tx_time, self._tx_done, packet)
+
+    def _tx_done(self, packet: Packet) -> None:
+        self.sim.schedule(self.prop_delay, self._deliver, packet)
+        self._transmit_next()
+
+    def _deliver(self, packet: Packet) -> None:
+        if packet.size > 0.0:
+            self.delivered_data += 1
+        else:
+            self.delivered_control += 1
+        for tap in self._delivery_taps:
+            tap(packet, self.sim.now)
+        self.dst.receive(packet, self)
+
+    # -- metrics --------------------------------------------------------
+
+    def utilization(self, now: float) -> float:
+        """Fraction of elapsed time the transmitter has been busy."""
+        if now <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Link({self.name}, {self.bandwidth_pps:.0f} pps, {self.prop_delay * 1e3:.0f} ms)"

@@ -1,0 +1,66 @@
+"""Nodes and routers.
+
+A :class:`Node` is anything that can receive packets from a link.  A
+:class:`Router` additionally owns a static forwarding table mapping
+*destination edge router names* to output links; the table is filled in by
+:meth:`repro.sim.topology.Topology.build_routes`.
+
+Core routers in both Corelite and CSFQ subclass :class:`Router`: the paper's
+"simple forwarding behavior" is exactly this class, and the per-scheme
+mechanisms hook in around it (marker observation for Corelite, per-packet
+drop decisions for CSFQ) without any per-flow forwarding state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import RoutingError
+from repro.sim.packet import Packet
+
+__all__ = ["Node", "Router"]
+
+
+class Node:
+    """Anything attachable to a link's receiving end."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def receive(self, packet: Packet, link: "Link") -> None:
+        """Handle a packet delivered by ``link``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Router(Node):
+    """A node with a static next-hop forwarding table."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._routes: Dict[str, "Link"] = {}
+
+    def set_route(self, dst_name: str, link: "Link") -> None:
+        """Install ``link`` as the next hop toward destination ``dst_name``."""
+        self._routes[dst_name] = link
+
+    def route_for(self, dst_name: str) -> Optional["Link"]:
+        """Next-hop link toward ``dst_name``, or None if unknown."""
+        return self._routes.get(dst_name)
+
+    def forward(self, packet: Packet) -> bool:
+        """Send ``packet`` toward its destination; False if it was dropped."""
+        if packet.dst == self.name:
+            raise RoutingError(
+                f"{self.name}: asked to forward a packet addressed to itself"
+            )
+        link = self._routes.get(packet.dst)
+        if link is None:
+            raise RoutingError(f"{self.name}: no route toward {packet.dst!r}")
+        return link.send(packet)
+
+    def receive(self, packet: Packet, link: "Link") -> None:
+        """Default behavior: pure forwarding (the paper's core data path)."""
+        self.forward(packet)

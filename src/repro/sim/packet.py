@@ -1,0 +1,174 @@
+"""Packet model.
+
+A single :class:`Packet` class covers all traffic in the system; the
+:class:`PacketKind` field distinguishes:
+
+* ``DATA`` — a 1-packet-sized payload packet of an edge-to-edge flow.
+* ``MARKER`` — a Corelite marker injected by the ingress edge after every
+  ``Nw = K1 * w`` data packets.  Markers are *logically distinct but
+  physically piggybacked* (paper §2.2), so their size is 0: they occupy a
+  FIFO position in queues but consume no bandwidth and no buffer space.
+* ``FEEDBACK`` — a marker echoed back to its generating edge by a congested
+  core router.  Feedback travels on the control plane.
+* ``LOSS_NOTIFY`` — an egress-edge loss report used by the CSFQ baseline
+  (the paper's "congestion indication messages ... losses in case of CSFQ").
+
+Rates are in packets/second and sizes in packets throughout the simulator
+(the paper uses a fixed 1 KB packet; see :mod:`repro.units`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from enum import IntEnum
+from typing import Optional
+
+__all__ = ["Packet", "PacketKind"]
+
+_packet_ids = itertools.count(1)
+
+
+class PacketKind(IntEnum):
+    """Discriminates the packet types that traverse the simulator."""
+
+    DATA = 0
+    MARKER = 1
+    FEEDBACK = 2
+    LOSS_NOTIFY = 3
+    #: Transport-level acknowledgment (TCP end-host extension); size 0.
+    ACK = 4
+
+
+class Packet:
+    """A packet in flight.
+
+    Attributes
+    ----------
+    pid:
+        Globally unique packet id (monotonically increasing).
+    kind:
+        One of :class:`PacketKind`.
+    flow_id:
+        Id of the edge-to-edge flow the packet belongs to.
+    size:
+        Size in units of data packets (1.0 for DATA, 0.0 for control kinds).
+    seq:
+        Per-flow sequence number of DATA packets (used by the CSFQ egress to
+        detect losses via gaps); 0 for non-data packets.
+    src / dst:
+        Names of the ingress and egress edge routers.
+    origin_edge:
+        For markers: the edge router that generated the marker (the paper's
+        "source address of the marker"), i.e. where feedback must return.
+    label:
+        For markers: the flow's normalized rate ``rn = bg/w`` at injection
+        time (used by the selective feedback scheme).  For CSFQ data
+        packets: the normalized rate estimate carried in the header.
+    feedback_from:
+        For FEEDBACK packets: identifier of the congested core link that
+        echoed the marker (the edge reacts to the *max* over core routers).
+    created_at:
+        Virtual time at which the packet was created.
+    """
+
+    __slots__ = (
+        "pid",
+        "kind",
+        "flow_id",
+        "size",
+        "seq",
+        "src",
+        "dst",
+        "origin_edge",
+        "label",
+        "feedback_from",
+        "created_at",
+        "ecn",
+        "micro_id",
+    )
+
+    def __init__(
+        self,
+        kind: PacketKind,
+        flow_id: int,
+        src: str,
+        dst: str,
+        size: float = 1.0,
+        seq: int = 0,
+        origin_edge: Optional[str] = None,
+        label: float = 0.0,
+        created_at: float = 0.0,
+    ) -> None:
+        self.pid = next(_packet_ids)
+        self.kind = kind
+        self.flow_id = flow_id
+        self.size = size
+        self.seq = seq
+        self.src = src
+        self.dst = dst
+        self.origin_edge = origin_edge
+        self.label = label
+        self.feedback_from: Optional[str] = None
+        self.created_at = created_at
+        #: Congestion-experienced bit (used by the DECbit baseline queue).
+        self.ecn = False
+        #: End-to-end micro-flow id within an aggregated edge-to-edge flow
+        #: (paper §2: an edge-to-edge flow "can potentially comprise of
+        #: several end to end micro flows"); 0 when not aggregated.
+        self.micro_id = 0
+
+    @classmethod
+    def data(
+        cls, flow_id: int, src: str, dst: str, seq: int, now: float, label: float = 0.0
+    ) -> "Packet":
+        """Create a DATA packet (size 1.0)."""
+        return cls(
+            PacketKind.DATA, flow_id, src, dst, size=1.0, seq=seq, label=label, created_at=now
+        )
+
+    @classmethod
+    def marker(cls, flow_id: int, src: str, dst: str, label: float, now: float) -> "Packet":
+        """Create a piggybacked MARKER packet (size 0.0).
+
+        ``src`` doubles as the marker's origin edge: the core router sends
+        feedback back to ``origin_edge`` without inspecting anything else.
+        """
+        return cls(
+            PacketKind.MARKER,
+            flow_id,
+            src,
+            dst,
+            size=0.0,
+            origin_edge=src,
+            label=label,
+            created_at=now,
+        )
+
+    def to_feedback(self, core_link: str, now: float) -> "Packet":
+        """Clone this marker into a FEEDBACK packet addressed to its edge."""
+        fb = Packet(
+            PacketKind.FEEDBACK,
+            self.flow_id,
+            src=core_link,
+            dst=self.origin_edge or self.src,
+            size=0.0,
+            label=self.label,
+            created_at=now,
+        )
+        fb.origin_edge = self.origin_edge
+        fb.feedback_from = core_link
+        return fb
+
+    @property
+    def is_data(self) -> bool:
+        return self.kind == PacketKind.DATA
+
+    @property
+    def is_marker(self) -> bool:
+        return self.kind == PacketKind.MARKER
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(#{self.pid} {self.kind.name} flow={self.flow_id} "
+            f"seq={self.seq} {self.src}->{self.dst})"
+        )

@@ -1,0 +1,148 @@
+"""Output queues.
+
+The paper's routers use plain FIFO scheduling with a finite drop-tail buffer
+(40 packets in §4).  Congestion detection in Corelite needs the
+*time-averaged* queue length over each congestion epoch (``qavg``), so the
+queue integrates its occupancy over time and exposes
+:meth:`FifoQueue.time_average`.
+
+Occupancy counts only data-sized packets: Corelite markers are piggybacked
+(size 0) and therefore consume neither buffer space nor bandwidth, exactly
+as the paper assumes.  Markers do keep their FIFO position so that the
+marker stream observed downstream preserves the interleaving of the flows.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.packet import Packet
+
+__all__ = ["QueueStats", "FifoQueue", "DropTailQueue"]
+
+
+@dataclass
+class QueueStats:
+    """Counters accumulated by a queue over its lifetime."""
+
+    enqueued_data: int = 0
+    dequeued_data: int = 0
+    dropped_data: int = 0
+    enqueued_control: int = 0
+    dropped_control: int = 0
+    peak_occupancy: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "enqueued_data": self.enqueued_data,
+            "dequeued_data": self.dequeued_data,
+            "dropped_data": self.dropped_data,
+            "enqueued_control": self.enqueued_control,
+            "dropped_control": self.dropped_control,
+            "peak_occupancy": self.peak_occupancy,
+        }
+
+
+class FifoQueue:
+    """Base FIFO queue with time-averaged occupancy tracking.
+
+    Subclasses decide the admission policy by overriding :meth:`admit`.
+    ``capacity`` is in data packets; packets of size 0 (markers) are always
+    admitted and never counted toward occupancy.
+    """
+
+    def __init__(self, capacity: float) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"queue capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._items: Deque[Packet] = deque()
+        self._occupancy = 0.0
+        self.stats = QueueStats()
+        # Occupancy-over-time integration for qavg.
+        self._integral = 0.0
+        self._last_time = 0.0
+        self._window_start = 0.0
+
+    # -- time-average bookkeeping -------------------------------------
+
+    def _advance(self, now: float) -> None:
+        """Accumulate occupancy-time since the last change."""
+        if now > self._last_time:
+            self._integral += self._occupancy * (now - self._last_time)
+            self._last_time = now
+
+    def time_average(self, now: float) -> float:
+        """Mean occupancy since the start of the current averaging window."""
+        self._advance(now)
+        span = now - self._window_start
+        if span <= 0.0:
+            return self._occupancy
+        return self._integral / span
+
+    def reset_window(self, now: float) -> None:
+        """Start a new averaging window (called once per congestion epoch)."""
+        self._advance(now)
+        self._integral = 0.0
+        self._window_start = now
+        self._last_time = now
+
+    # -- admission ------------------------------------------------------
+
+    def admit(self, packet: Packet, now: float) -> bool:
+        """Decide whether a data-sized packet may enter the queue."""
+        raise NotImplementedError
+
+    # -- queue operations -------------------------------------------------
+
+    def push(self, packet: Packet, now: float) -> bool:
+        """Enqueue ``packet``; returns False if it was dropped."""
+        if packet.size <= 0.0:
+            self._items.append(packet)
+            self.stats.enqueued_control += 1
+            return True
+        if not self.admit(packet, now):
+            self.stats.dropped_data += 1
+            return False
+        self._advance(now)
+        self._items.append(packet)
+        self._occupancy += packet.size
+        self.stats.enqueued_data += 1
+        if self._occupancy > self.stats.peak_occupancy:
+            self.stats.peak_occupancy = self._occupancy
+        return True
+
+    def pop(self, now: float) -> Optional[Packet]:
+        """Dequeue the head packet, or None if empty."""
+        if not self._items:
+            return None
+        packet = self._items.popleft()
+        if packet.size > 0.0:
+            self._advance(now)
+            self._occupancy -= packet.size
+            self.stats.dequeued_data += 1
+        return packet
+
+    @property
+    def occupancy(self) -> float:
+        """Current buffered data, in data packets (markers excluded)."""
+        return self._occupancy
+
+    def __len__(self) -> int:
+        """Number of queued packet objects, markers included."""
+        return len(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(occupancy={self._occupancy:.1f}/"
+            f"{self.capacity}, items={len(self._items)})"
+        )
+
+
+class DropTailQueue(FifoQueue):
+    """The classic finite FIFO buffer: admit until full, then tail-drop."""
+
+    def admit(self, packet: Packet, now: float) -> bool:
+        return self._occupancy + packet.size <= self.capacity

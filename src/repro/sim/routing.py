@@ -1,0 +1,85 @@
+"""Static shortest-path routing.
+
+Routes are computed once at topology build time with Dijkstra's algorithm
+over propagation delays (with a small per-hop bias so that equal-delay
+paths prefer fewer hops, and tie-breaking is deterministic by neighbor
+name).  The simulated network never reroutes: the paper's evaluation uses
+fixed paths.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import RoutingError
+
+__all__ = ["shortest_paths", "reconstruct_path", "path_cost"]
+
+#: adjacency: node name -> sequence of (neighbor name, edge cost, link name)
+Adjacency = Mapping[str, Sequence[Tuple[str, float, str]]]
+
+#: A tiny per-hop cost added to each edge so that among equal-delay routes
+#: the one with fewer hops wins deterministically.
+HOP_BIAS = 1e-9
+
+
+def shortest_paths(
+    adjacency: Adjacency, source: str
+) -> Tuple[Dict[str, float], Dict[str, Tuple[str, str]]]:
+    """Single-source Dijkstra.
+
+    Returns ``(dist, prev)`` where ``dist[node]`` is the path cost from
+    ``source`` and ``prev[node] = (predecessor, link_name)`` encodes the
+    shortest-path tree.  Unreachable nodes are absent from both maps.
+    """
+    if source not in adjacency:
+        raise RoutingError(f"unknown source node {source!r}")
+    dist: Dict[str, float] = {source: 0.0}
+    prev: Dict[str, Tuple[str, str]] = {}
+    visited = set()
+    heap: List[Tuple[float, str]] = [(0.0, source)]
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        for neighbor, cost, link_name in adjacency.get(node, ()):
+            if cost < 0:
+                raise RoutingError(f"negative link cost on {link_name!r}")
+            candidate = d + cost + HOP_BIAS
+            best = dist.get(neighbor)
+            if best is None or candidate < best - 1e-15:
+                dist[neighbor] = candidate
+                prev[neighbor] = (node, link_name)
+                heapq.heappush(heap, (candidate, neighbor))
+    return dist, prev
+
+
+def reconstruct_path(
+    prev: Mapping[str, Tuple[str, str]], source: str, dest: str
+) -> List[str]:
+    """Link names along the shortest path ``source -> dest``.
+
+    Raises :class:`RoutingError` if ``dest`` is unreachable.
+    """
+    if dest == source:
+        return []
+    if dest not in prev:
+        raise RoutingError(f"no path from {source!r} to {dest!r}")
+    links: List[str] = []
+    node = dest
+    while node != source:
+        parent, link_name = prev[node]
+        links.append(link_name)
+        node = parent
+    links.reverse()
+    return links
+
+
+def path_cost(dist: Mapping[str, float], dest: str, source: str) -> float:
+    """Shortest-path cost to ``dest`` from the Dijkstra run rooted at ``source``."""
+    try:
+        return dist[dest]
+    except KeyError:
+        raise RoutingError(f"no path from {source!r} to {dest!r}") from None

@@ -1,0 +1,167 @@
+"""Topology container and route computation.
+
+A :class:`Topology` owns the nodes and links of one network cloud, builds
+static forwarding tables on every router and answers propagation-delay
+queries for the control plane (feedback packets travel back to the edge at
+reverse-path propagation speed; see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Tuple
+
+from repro.errors import TopologyError
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.node import Node, Router
+from repro.sim.queues import DropTailQueue, FifoQueue
+from repro.sim.routing import reconstruct_path, shortest_paths
+
+__all__ = ["Topology"]
+
+QueueFactory = Callable[[], FifoQueue]
+
+
+def _default_queue_factory() -> FifoQueue:
+    """The paper's default buffer: 40-packet drop-tail FIFO."""
+    return DropTailQueue(capacity=40)
+
+
+class Topology:
+    """Nodes + links + static routes for a single network cloud."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.nodes: Dict[str, Node] = {}
+        self.links: Dict[str, Link] = {}
+        self._routes_built = False
+        # Cached per-source Dijkstra results, keyed by source node name.
+        self._dijkstra: Dict[str, Tuple[Dict[str, float], Dict[str, Tuple[str, str]]]] = {}
+
+    # -- construction ---------------------------------------------------
+
+    def add_node(self, node: Node) -> Node:
+        """Register ``node``; names must be unique."""
+        if node.name in self.nodes:
+            raise TopologyError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+        self._invalidate()
+        return node
+
+    def add_link(
+        self,
+        src: str,
+        dst: str,
+        bandwidth_pps: float,
+        prop_delay: float,
+        queue_factory: QueueFactory = _default_queue_factory,
+        name: str = "",
+    ) -> Link:
+        """Add a unidirectional link from node ``src`` to node ``dst``."""
+        if src not in self.nodes:
+            raise TopologyError(f"unknown source node {src!r}")
+        if dst not in self.nodes:
+            raise TopologyError(f"unknown destination node {dst!r}")
+        if src == dst:
+            raise TopologyError(f"self-loop on {src!r}")
+        link_name = name or f"{src}->{dst}"
+        if link_name in self.links:
+            raise TopologyError(f"duplicate link name {link_name!r}")
+        link = Link(
+            self.sim,
+            link_name,
+            src_name=src,
+            dst=self.nodes[dst],
+            bandwidth_pps=bandwidth_pps,
+            prop_delay=prop_delay,
+            queue=queue_factory(),
+        )
+        self.links[link_name] = link
+        self._invalidate()
+        return link
+
+    def add_duplex_link(
+        self,
+        a: str,
+        b: str,
+        bandwidth_pps: float,
+        prop_delay: float,
+        queue_factory: QueueFactory = _default_queue_factory,
+    ) -> Tuple[Link, Link]:
+        """Add a pair of symmetric unidirectional links ``a<->b``."""
+        forward = self.add_link(a, b, bandwidth_pps, prop_delay, queue_factory)
+        backward = self.add_link(b, a, bandwidth_pps, prop_delay, queue_factory)
+        return forward, backward
+
+    def _invalidate(self) -> None:
+        self._routes_built = False
+        self._dijkstra.clear()
+
+    # -- routing ----------------------------------------------------------
+
+    def _adjacency(self) -> Dict[str, List[Tuple[str, float, str]]]:
+        adjacency: Dict[str, List[Tuple[str, float, str]]] = {
+            name: [] for name in self.nodes
+        }
+        for link in self.links.values():
+            adjacency[link.src_name].append((link.dst.name, link.prop_delay, link.name))
+        for neighbors in adjacency.values():
+            neighbors.sort()  # deterministic tie-breaking
+        return adjacency
+
+    def build_routes(self, destinations: Iterable[str] = ()) -> None:
+        """Fill every router's forwarding table.
+
+        ``destinations`` restricts the table to the given node names (edge
+        routers); by default every node is a potential destination.
+        """
+        adjacency = self._adjacency()
+        dest_names = list(destinations) or list(self.nodes)
+        for dst_name in dest_names:
+            if dst_name not in self.nodes:
+                raise TopologyError(f"unknown destination {dst_name!r}")
+        for src_name, node in self.nodes.items():
+            if not isinstance(node, Router):
+                continue
+            dist, prev = shortest_paths(adjacency, src_name)
+            self._dijkstra[src_name] = (dist, prev)
+            for dst_name in dest_names:
+                if dst_name == src_name:
+                    continue
+                path = reconstruct_path(prev, src_name, dst_name)
+                node.set_route(dst_name, self.links[path[0]])
+        self._routes_built = True
+
+    def _dijkstra_from(self, src: str) -> Tuple[Dict[str, float], Dict[str, Tuple[str, str]]]:
+        if src not in self.nodes:
+            raise TopologyError(f"unknown node {src!r}")
+        cached = self._dijkstra.get(src)
+        if cached is None:
+            cached = shortest_paths(self._adjacency(), src)
+            self._dijkstra[src] = cached
+        return cached
+
+    def path_links(self, src: str, dst: str) -> List[Link]:
+        """Links along the shortest path ``src -> dst``."""
+        _dist, prev = self._dijkstra_from(src)
+        return [self.links[name] for name in reconstruct_path(prev, src, dst)]
+
+    def path_delay(self, src: str, dst: str) -> float:
+        """Total propagation delay along the shortest path ``src -> dst``."""
+        return sum(link.prop_delay for link in self.path_links(src, dst))
+
+    def path_nodes(self, src: str, dst: str) -> List[str]:
+        """Node names visited by the shortest path, endpoints included."""
+        names = [src]
+        for link in self.path_links(src, dst):
+            names.append(link.dst.name)
+        return names
+
+    # -- stats ---------------------------------------------------------
+
+    def total_drops(self) -> int:
+        """Data packets dropped anywhere in the network so far."""
+        return sum(link.queue.stats.dropped_data for link in self.links.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Topology(nodes={len(self.nodes)}, links={len(self.links)})"

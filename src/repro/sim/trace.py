@@ -1,0 +1,129 @@
+"""Packet-level tracing.
+
+A :class:`PacketTracer` records bounded, structured events (enqueue,
+dequeue, drop, delivery, feedback) the way ns-2 trace files do, without
+the I/O: events go into a ring buffer and can be filtered and exported.
+Tracing is off by default and costs one predicate call per event when
+attached, so simulations only pay for it when debugging.
+
+Typical use::
+
+    tracer = PacketTracer(capacity=50_000)
+    tracer.attach_to_link(link)
+    ...run...
+    for ev in tracer.events(kind="drop"):
+        print(ev)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Iterator, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.link import Link
+from repro.sim.packet import Packet
+
+__all__ = ["TraceEvent", "PacketTracer"]
+
+#: Event kinds recorded by the tracer.
+EVENT_KINDS = ("send", "drop", "deliver")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded packet event."""
+
+    time: float
+    kind: str          # "send" | "drop" | "deliver"
+    where: str         # link name
+    packet_kind: str   # PacketKind name
+    flow_id: int
+    seq: int
+    pid: int
+
+    def as_row(self) -> tuple:
+        return (self.time, self.kind, self.where, self.packet_kind, self.flow_id, self.seq)
+
+
+class PacketTracer:
+    """Bounded recorder of packet events across any number of links."""
+
+    def __init__(
+        self,
+        capacity: int = 100_000,
+        flow_filter: Optional[Callable[[int], bool]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"trace capacity must be >= 1, got {capacity}")
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._flow_filter = flow_filter
+        self.recorded = 0
+        self.enabled = True
+
+    # -- attachment ------------------------------------------------------
+
+    def attach_to_link(self, link: Link) -> None:
+        """Record drops and deliveries on ``link``."""
+        link.add_drop_listener(
+            lambda packet, now, name=link.name: self._record(now, "drop", name, packet)
+        )
+        link.add_delivery_tap(
+            lambda packet, now, name=link.name: self._record(now, "deliver", name, packet)
+        )
+
+    def record_send(self, now: float, where: str, packet: Packet) -> None:
+        """Manual hook for components that originate packets."""
+        self._record(now, "send", where, packet)
+
+    # -- recording -----------------------------------------------------------
+
+    def _record(self, now: float, kind: str, where: str, packet: Packet) -> None:
+        if not self.enabled:
+            return
+        if self._flow_filter is not None and not self._flow_filter(packet.flow_id):
+            return
+        self._events.append(
+            TraceEvent(
+                time=now,
+                kind=kind,
+                where=where,
+                packet_kind=packet.kind.name,
+                flow_id=packet.flow_id,
+                seq=packet.seq,
+                pid=packet.pid,
+            )
+        )
+        self.recorded += 1
+
+    # -- inspection ------------------------------------------------------
+
+    def events(
+        self,
+        kind: Optional[str] = None,
+        flow_id: Optional[int] = None,
+        where: Optional[str] = None,
+    ) -> Iterator[TraceEvent]:
+        """Iterate recorded events, optionally filtered."""
+        for event in self._events:
+            if kind is not None and event.kind != kind:
+                continue
+            if flow_id is not None and event.flow_id != flow_id:
+                continue
+            if where is not None and event.where != where:
+                continue
+            yield event
+
+    def count(self, **filters) -> int:
+        return sum(1 for _ in self.events(**filters))
+
+    def to_rows(self) -> List[tuple]:
+        """Export all retained events as plain tuples (ns-trace style)."""
+        return [event.as_row() for event in self._events]
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -1,0 +1,50 @@
+"""Unit helpers.
+
+The paper works in packets of a fixed 1 KB size and quotes link speeds both
+in Mbps and in packets per second (4 Mbps == 500 pkt/s).  The simulator's
+internal rate unit is *packets per second* and its internal size unit is
+*packets* (data packets have size 1.0, piggybacked markers size 0.0).  These
+helpers convert between the paper's units and the internal ones.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: The paper's fixed packet size.  §4 equates 4 Mbps with 500 pkt/s, which
+#: pins its "1 KB" to the decimal convention: 1000 bytes, 8000 bits.
+PACKET_SIZE_BYTES = 1000
+PACKET_SIZE_BITS = PACKET_SIZE_BYTES * 8
+
+#: Seconds per millisecond, for readable call sites.
+MS = 1e-3
+
+
+def mbps_to_pps(mbps: float, packet_size_bytes: int = PACKET_SIZE_BYTES) -> float:
+    """Convert a link speed in megabits/second to packets/second.
+
+    The paper treats 4 Mbps as exactly 500 pkt/s (1 Mbit = 10^6 bits,
+    1 KB = 1000 bytes); with the defaults ``mbps_to_pps(4.0) == 500.0``.
+    """
+    if mbps < 0:
+        raise ConfigurationError(f"link speed must be non-negative, got {mbps}")
+    bits_per_packet = packet_size_bytes * 8
+    return mbps * 1e6 / bits_per_packet
+
+
+def pps_to_mbps(pps: float, packet_size_bytes: int = PACKET_SIZE_BYTES) -> float:
+    """Convert packets/second back to megabits/second (paper convention)."""
+    if pps < 0:
+        raise ConfigurationError(f"rate must be non-negative, got {pps}")
+    bits_per_packet = packet_size_bytes * 8
+    return pps * bits_per_packet / 1e6
+
+
+def ms_to_s(ms: float) -> float:
+    """Convert milliseconds to seconds."""
+    return ms * MS
+
+
+def s_to_ms(s: float) -> float:
+    """Convert seconds to milliseconds."""
+    return s / MS

@@ -1,0 +1,55 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.node import Router
+from repro.sim.packet import Packet
+from repro.sim.topology import Topology
+
+
+class CollectorNode(Router):
+    """A router that records everything delivered to it."""
+
+    def __init__(self, name: str, sim: Simulator) -> None:
+        super().__init__(name)
+        self.sim = sim
+        self.received: List[Tuple[float, Packet]] = []
+
+    def receive(self, packet: Packet, link) -> None:
+        if packet.dst == self.name:
+            self.received.append((self.sim.now, packet))
+        else:
+            self.forward(packet)
+
+    @property
+    def packets(self) -> List[Packet]:
+        return [p for _, p in self.received]
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def line_topology(sim: Simulator):
+    """A -> B -> C line with 500 pkt/s, 10 ms links; C collects."""
+    topo = Topology(sim)
+    a = Router("A")
+    b = Router("B")
+    c = CollectorNode("C", sim)
+    for node in (a, b, c):
+        topo.add_node(node)
+    topo.add_duplex_link("A", "B", 500.0, 0.010)
+    topo.add_duplex_link("B", "C", 500.0, 0.010)
+    topo.build_routes()
+    return topo, a, b, c
+
+
+def data_packet(flow_id: int = 1, src: str = "A", dst: str = "C", seq: int = 0, now: float = 0.0):
+    return Packet.data(flow_id, src, dst, seq=seq, now=now)

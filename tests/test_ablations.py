@@ -1,0 +1,64 @@
+"""Unit tests for the ablation machinery (short durations)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.ablations import (
+    AblationPoint,
+    compare_feedback_schemes,
+    grid_study,
+    sweep_alpha,
+    sweep_beta,
+    sweep_qthresh,
+)
+
+
+DURATION = 45.0  # short but past the convergence transient
+
+
+class TestSweeps:
+    def test_sweep_returns_one_point_per_value(self):
+        points = sweep_qthresh(values=(4.0, 8.0), duration=DURATION)
+        assert [p.value for p in points] == [4.0, 8.0]
+        for p in points:
+            assert isinstance(p, AblationPoint)
+            assert p.weighted_jain > 0.9
+            assert p.mae_vs_expected >= 0.0
+
+    def test_alpha_and_beta_sweeps_run(self):
+        for sweep in (sweep_alpha, sweep_beta):
+            points = sweep(values=(1.0, 2.0), duration=DURATION)
+            assert len(points) == 2
+            for p in points:
+                assert p.weighted_jain > 0.9
+
+    def test_feedback_comparison_labels(self):
+        points = compare_feedback_schemes(duration=DURATION)
+        assert {p.value for p in points} == {"marker_cache", "selective"}
+
+
+class TestGridStudy:
+    def test_cartesian_product(self):
+        points = grid_study(
+            {"qthresh": (4.0, 8.0), "fn_k": (0.0, 0.02)}, duration=DURATION
+        )
+        assert len(points) == 4
+        combos = {tuple(sorted(p.value.items())) for p in points}
+        assert (("fn_k", 0.0), ("qthresh", 4.0)) in combos
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grid_study({}, duration=DURATION)
+        with pytest.raises(ConfigurationError):
+            grid_study({"qthresh": ()}, duration=DURATION)
+
+    def test_interaction_example(self):
+        """A fast edge epoch (0.1 s) alone overruns the buffers; pairing
+        it with a stronger beta restores most of the losslessness —
+        the interaction the single-field sweeps cannot show."""
+        points = grid_study(
+            {"edge_epoch": (0.1,), "beta": (1.0, 3.0)}, duration=DURATION
+        )
+        weak, strong = points
+        assert weak.value["beta"] == 1.0
+        assert strong.drops < weak.drops

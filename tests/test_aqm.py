@@ -1,0 +1,105 @@
+"""Unit tests for the RED and DECbit baseline queues."""
+
+import random
+
+import pytest
+
+from repro.aqm.decbit import DecbitQueue
+from repro.aqm.red import RedQueue
+from repro.errors import ConfigurationError
+from repro.sim.packet import Packet
+
+
+def data(seq=0):
+    return Packet.data(1, "A", "B", seq=seq, now=0.0)
+
+
+class TestRed:
+    def test_no_drops_below_min_thresh(self):
+        q = RedQueue(capacity=40, min_thresh=5, max_thresh=15)
+        for i in range(4):
+            assert q.push(data(i), i * 0.01)
+        assert q.early_drops == 0
+
+    def test_average_tracks_occupancy_slowly(self):
+        q = RedQueue(capacity=40, avg_weight=0.5)
+        for i in range(10):
+            q.push(data(i), 0.0)
+        assert 0 < q.avg < 10
+
+    def test_forced_drop_above_max_thresh(self):
+        q = RedQueue(capacity=40, min_thresh=2, max_thresh=5, avg_weight=1.0)
+        outcomes = [q.push(data(i), 0.0) for i in range(12)]
+        assert q.forced_drops > 0
+        assert not all(outcomes)
+
+    def test_probabilistic_drops_between_thresholds(self):
+        q = RedQueue(capacity=1000, min_thresh=5, max_thresh=900, max_prob=0.5,
+                     avg_weight=1.0, rng=random.Random(1))
+        accepted = sum(q.push(data(i), 0.0) for i in range(200))
+        assert q.early_drops > 0
+        assert accepted < 200
+
+    def test_idle_period_decays_average(self):
+        q = RedQueue(capacity=40, avg_weight=0.5)
+        for i in range(10):
+            q.push(data(i), 0.0)
+        for _ in range(10):
+            q.pop(0.0)
+        avg_before = q.avg
+        q.push(data(99), 10.0)  # long idle gap
+        assert q.avg < avg_before
+
+    def test_physical_capacity_still_enforced(self):
+        q = RedQueue(capacity=5, min_thresh=2, max_thresh=5, avg_weight=0.001)
+        for i in range(10):
+            q.push(data(i), 0.0)
+        assert q.occupancy <= 5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            RedQueue(capacity=40, min_thresh=10, max_thresh=5)
+        with pytest.raises(ConfigurationError):
+            RedQueue(capacity=40, max_prob=0.0)
+        with pytest.raises(ConfigurationError):
+            RedQueue(capacity=40, avg_weight=2.0)
+        with pytest.raises(ConfigurationError):
+            RedQueue(capacity=40, mean_packet_time=0.0)
+
+
+class TestDecbit:
+    def test_no_marking_when_queue_short(self):
+        q = DecbitQueue(capacity=40)
+        p = data(0)
+        q.push(p, 0.0)
+        assert p.ecn is False
+
+    def test_marks_when_cycle_average_at_least_one(self):
+        q = DecbitQueue(capacity=40)
+        # build a standing queue: average over the busy period exceeds 1
+        packets = [data(i) for i in range(20)]
+        for i, p in enumerate(packets):
+            q.push(p, i * 0.001)
+        assert q.marked > 0
+        assert any(p.ecn for p in packets)
+
+    def test_overflow_drops(self):
+        q = DecbitQueue(capacity=3)
+        results = [q.push(data(i), 0.0) for i in range(5)]
+        assert results == [True, True, True, False, False]
+
+    def test_cycle_average_resets_after_idle(self):
+        q = DecbitQueue(capacity=40)
+        for i in range(10):
+            q.push(data(i), i * 0.001)
+        while q.pop(0.02) is not None:
+            pass
+        # new busy period long after: previous cycle included idle time,
+        # dropping the average below the mark threshold initially
+        p = data(100)
+        q.push(p, 10.0)
+        assert p.ecn is False
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            DecbitQueue(capacity=40, mark_threshold=0.0)

@@ -1,0 +1,56 @@
+"""Unit tests for the control plane."""
+
+import pytest
+
+from repro.sim.control import ControlPlane
+from repro.sim.packet import Packet, PacketKind
+
+
+def feedback(dst="A"):
+    return Packet(PacketKind.FEEDBACK, 1, src="C", dst=dst, size=0.0)
+
+
+def test_delivery_after_path_delay(line_topology, sim):
+    topo, a, b, c = line_topology
+    control = ControlPlane(sim, topo)
+    got = []
+    control.send("C", "A", lambda p: got.append((sim.now, p)), feedback())
+    sim.run()
+    assert len(got) == 1
+    assert got[0][0] == pytest.approx(0.020)  # two 10 ms hops
+
+
+def test_single_hop_delay(line_topology, sim):
+    topo, a, b, c = line_topology
+    control = ControlPlane(sim, topo)
+    got = []
+    control.send("B", "A", lambda p: got.append(sim.now), feedback())
+    sim.run()
+    assert got == [pytest.approx(0.010)]
+
+
+def test_delay_is_cached(line_topology, sim):
+    topo, *_ = line_topology
+    control = ControlPlane(sim, topo)
+    assert control.delay("C", "A") == pytest.approx(0.020)
+    assert ("C", "A") in control._delay_cache
+    assert control.delay("C", "A") == pytest.approx(0.020)
+
+
+def test_delivered_counter(line_topology, sim):
+    topo, *_ = line_topology
+    control = ControlPlane(sim, topo)
+    for _ in range(3):
+        control.send("C", "A", lambda p: None, feedback())
+    sim.run()
+    assert control.delivered == 3
+
+
+def test_packet_object_is_passed_through(line_topology, sim):
+    topo, *_ = line_topology
+    control = ControlPlane(sim, topo)
+    pkt = feedback()
+    got = []
+    control.send("B", "A", got.append, pkt)
+    sim.run()
+    assert got[0] is pkt

@@ -1,0 +1,71 @@
+"""Unit tests for CoreliteConfig validation."""
+
+import pytest
+
+from repro.core.config import CoreliteConfig, FeedbackScheme
+from repro.errors import ConfigurationError
+
+
+def test_defaults_match_paper_constants():
+    cfg = CoreliteConfig()
+    assert cfg.k1 == 1.0
+    assert cfg.alpha == 1.0
+    assert cfg.beta == 1.0
+    assert cfg.core_epoch == pytest.approx(0.1)
+    assert cfg.qthresh == 8.0
+    assert cfg.queue_capacity == 40.0
+    assert cfg.ss_thresh == 32.0
+    assert cfg.feedback_scheme is FeedbackScheme.SELECTIVE
+
+
+def test_marker_interval():
+    cfg = CoreliteConfig(k1=2.0)
+    assert cfg.marker_interval(3.0) == pytest.approx(6.0)
+    with pytest.raises(ConfigurationError):
+        cfg.marker_interval(0.0)
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("k1", 0.0),
+        ("alpha", -1.0),
+        ("beta", 0.0),
+        ("edge_epoch", 0.0),
+        ("core_epoch", -0.1),
+        ("queue_capacity", 0.0),
+        ("ss_thresh", 0.0),
+        ("ss_double_interval", 0.0),
+        ("initial_rate", 0.0),
+        ("qthresh", -1.0),
+        ("fn_k", -0.5),
+        ("min_rate", -1.0),
+        ("rav_gain", 0.0),
+        ("rav_gain", 1.5),
+        ("wav_gain", -0.1),
+        ("marker_cache_size", 0),
+    ],
+)
+def test_invalid_values_rejected(field, value):
+    with pytest.raises(ConfigurationError):
+        CoreliteConfig(**{field: value})
+
+
+def test_qthresh_must_be_below_capacity():
+    with pytest.raises(ConfigurationError):
+        CoreliteConfig(qthresh=40.0, queue_capacity=40.0)
+
+
+def test_min_rate_cannot_exceed_max_rate():
+    with pytest.raises(ConfigurationError):
+        CoreliteConfig(min_rate=100.0, max_rate=50.0)
+
+
+def test_feedback_scheme_must_be_enum():
+    with pytest.raises(ConfigurationError):
+        CoreliteConfig(feedback_scheme="selective")
+
+
+def test_fn_k_zero_is_allowed():
+    # k = 0 is a legal (if ill-advised) setting the ABL-K ablation uses.
+    assert CoreliteConfig(fn_k=0.0).fn_k == 0.0

@@ -1,0 +1,81 @@
+"""Tests for delay tracking, standalone and end-to-end."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.network import CoreliteNetwork, FlowSpec
+from repro.sim.delay import DelayTracker
+
+
+class TestDelayTracker:
+    def test_running_statistics(self):
+        t = DelayTracker()
+        for d in (0.1, 0.2, 0.3):
+            t.record(d)
+        assert t.count == 3
+        assert t.mean == pytest.approx(0.2)
+        assert t.min == pytest.approx(0.1)
+        assert t.max == pytest.approx(0.3)
+        assert t.stdev == pytest.approx(0.0816, abs=0.001)
+
+    def test_empty_summary(self):
+        s = DelayTracker().summary()
+        assert s["count"] == 0
+        assert s["mean"] == 0.0
+        assert s["p95"] is None
+
+    def test_percentiles_from_reservoir(self):
+        t = DelayTracker(reservoir=1000)
+        for i in range(1000):
+            t.record(i / 1000.0)
+        assert t.percentile(0.5) == pytest.approx(0.5, abs=0.05)
+        assert t.percentile(0.95) == pytest.approx(0.95, abs=0.05)
+
+    def test_reservoir_stays_bounded_and_representative(self):
+        t = DelayTracker(reservoir=100, seed=1)
+        for i in range(10_000):
+            t.record(i / 10_000.0)
+        assert len(t._reservoir) == 100
+        assert t.percentile(0.5) == pytest.approx(0.5, abs=0.15)
+
+    def test_zero_reservoir_disables_percentiles(self):
+        t = DelayTracker(reservoir=0)
+        t.record(0.1)
+        assert t.percentile(0.5) is None
+        assert t.mean == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DelayTracker(reservoir=-1)
+        t = DelayTracker()
+        with pytest.raises(ConfigurationError):
+            t.record(-0.1)
+        with pytest.raises(ConfigurationError):
+            t.percentile(1.5)
+
+
+class TestEndToEndDelay:
+    def test_corelite_keeps_delay_near_qthresh_not_buffer(self):
+        """Incipient-congestion feedback keeps the standing queue near
+        qthresh (8 pkt), so one-way delay sits far below the
+        full-buffer (40 pkt) worst case."""
+        net = CoreliteNetwork.single_bottleneck(seed=0)
+        for fid, weight in ((1, 1.0), (2, 1.0), (3, 2.0)):
+            net.add_flow(FlowSpec(flow_id=fid, weight=weight))
+        res = net.run(until=80.0)
+        # propagation = 3 * 40 ms = 120 ms; full 40-pkt buffer would add
+        # another 80 ms.  Expect mean delay well under that worst case.
+        summary = res.flows[1].delay
+        assert summary["count"] > 1000
+        assert 0.120 <= summary["mean"] < 0.190
+        assert summary["p95"] < 0.25
+
+    def test_delay_scales_with_hop_count(self):
+        net = CoreliteNetwork(num_cores=3, seed=0)
+        net.add_flow(FlowSpec(flow_id=1, ingress_core="C1", egress_core="C3"))
+        net.add_flow(FlowSpec(flow_id=2, ingress_core="C1", egress_core="C2"))
+        net.add_flow(FlowSpec(flow_id=3, ingress_core="C2", egress_core="C3"))
+        res = net.run(until=60.0)
+        long_path = res.flows[1].delay["mean"]
+        short_path = res.flows[2].delay["mean"]
+        assert long_path > short_path + 0.035  # one more 40 ms hop

@@ -1,0 +1,202 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+def test_initial_time_is_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_schedule_runs_in_time_order(sim):
+    order = []
+    sim.schedule(2.0, order.append, "late")
+    sim.schedule(1.0, order.append, "early")
+    sim.schedule(3.0, order.append, "latest")
+    sim.run()
+    assert order == ["early", "late", "latest"]
+
+
+def test_same_time_events_run_in_insertion_order(sim):
+    order = []
+    for i in range(5):
+        sim.schedule(1.0, order.append, i)
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_now_advances_to_event_time(sim):
+    seen = []
+    sim.schedule(1.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [1.5]
+
+
+def test_run_until_stops_before_later_events(sim):
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(5.0, fired.append, "b")
+    sim.run(until=2.0)
+    assert fired == ["a"]
+    assert sim.now == 2.0
+
+
+def test_run_until_includes_events_at_boundary(sim):
+    fired = []
+    sim.schedule(2.0, fired.append, "boundary")
+    sim.run(until=2.0)
+    assert fired == ["boundary"]
+
+
+def test_run_until_then_resume(sim):
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(3.0, fired.append, 3)
+    sim.run(until=2.0)
+    sim.run(until=4.0)
+    assert fired == [1, 3]
+
+
+def test_schedule_negative_delay_raises(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_in_past_raises(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_cancel_prevents_execution(sim):
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    handle.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_after_fire_is_noop(sim):
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    sim.run()
+    handle.cancel()  # must not raise
+    assert fired == ["x"]
+
+
+def test_events_can_schedule_events(sim):
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(1.0, lambda: order.append("second"))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert order == ["first", "second"]
+    assert sim.now == 2.0
+
+
+def test_event_args_are_passed(sim):
+    seen = []
+    sim.schedule(1.0, lambda a, b: seen.append((a, b)), 1, "two")
+    sim.run()
+    assert seen == [(1, "two")]
+
+
+def test_step_runs_single_event(sim):
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(2.0, fired.append, 2)
+    assert sim.step() is True
+    assert fired == [1]
+    assert sim.step() is True
+    assert sim.step() is False
+    assert fired == [1, 2]
+
+
+def test_step_skips_cancelled(sim):
+    fired = []
+    handle = sim.schedule(1.0, fired.append, 1)
+    sim.schedule(2.0, fired.append, 2)
+    handle.cancel()
+    assert sim.step() is True
+    assert fired == [2]
+
+
+def test_events_executed_counter(sim):
+    for i in range(7):
+        sim.schedule(float(i + 1), lambda: None)
+    sim.run()
+    assert sim.events_executed == 7
+
+
+def test_peek_time(sim):
+    assert sim.peek_time() is None
+    h = sim.schedule(3.0, lambda: None)
+    sim.schedule(5.0, lambda: None)
+    assert sim.peek_time() == 3.0
+    h.cancel()
+    assert sim.peek_time() == 5.0
+
+
+def test_run_is_not_reentrant(sim):
+    def nested():
+        sim.run()
+
+    sim.schedule(1.0, nested)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_zero_delay_event_runs_now(sim):
+    sim.schedule(1.0, lambda: sim.schedule(0.0, marks.append, sim.now))
+    marks = []
+    sim.run()
+    assert marks == [1.0]
+
+
+class TestPeriodicTask:
+    def test_fires_every_interval(self, sim):
+        ticks = []
+        sim.every(1.0, lambda: ticks.append(sim.now))
+        sim.run(until=3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_first_delay_offsets_phase(self, sim):
+        ticks = []
+        sim.every(1.0, lambda: ticks.append(sim.now), first_delay=0.25)
+        sim.run(until=2.5)
+        assert ticks == [0.25, 1.25, 2.25]
+
+    def test_stop_cancels_future_firings(self, sim):
+        ticks = []
+        task = sim.every(1.0, lambda: ticks.append(sim.now))
+        sim.run(until=2.0)
+        task.stop()
+        assert task.stopped
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_stop_from_within_callback(self, sim):
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) == 2:
+                task.stop()
+
+        task = sim.every(1.0, tick)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_non_positive_interval_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.every(0.0, lambda: None)
+
+    def test_negative_first_delay_raises(self, sim):
+        with pytest.raises(SimulationError):
+            sim.every(1.0, lambda: None, first_delay=-1.0)

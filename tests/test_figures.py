@@ -1,0 +1,68 @@
+"""Smoke tests for the figure generators (tiny durations — the full-size
+runs live in benchmarks/)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.figures import (
+    ComparisonResult,
+    Fig34Result,
+    figure3_4,
+    figure5_6,
+    figure7_8,
+    figure9_10,
+)
+
+
+class TestFigure34:
+    def test_scaled_run_produces_three_phases(self):
+        fig = figure3_4(scale=0.02, sample_interval=0.5)  # 16 s total
+        assert isinstance(fig, Fig34Result)
+        assert fig.phase_times == (0.0, 5.0, 10.0, 15.0)
+        assert len(fig.expected_by_phase) == 3
+        # Phase 2 has all 20 flows; phases 1/3 only 15.
+        assert len(fig.expected_by_phase[1]) == 20
+        assert len(fig.expected_by_phase[0]) == 15
+
+    def test_expected_shares_are_constant_per_weight(self):
+        fig = figure3_4(scale=0.02, sample_interval=0.5)
+        weights = fig.result.weights()
+        shares = {
+            round(v / weights[f], 2) for f, v in fig.expected_by_phase[1].items()
+        }
+        assert shares == {25.0}
+
+    def test_phase_window_validation(self):
+        fig = figure3_4(scale=0.02, sample_interval=0.5)
+        with pytest.raises(ConfigurationError):
+            fig.phase_window(4)
+        lo, hi = fig.phase_window(1, settle=0.5)
+        assert 0.0 < lo < hi <= 5.0
+
+
+class TestComparisons:
+    def test_figure5_6_returns_both_schemes(self):
+        cmp = figure5_6(duration=8.0, num_flows=4)
+        assert isinstance(cmp, ComparisonResult)
+        assert cmp.corelite.scheme == "corelite"
+        assert cmp.csfq.scheme == "csfq"
+        assert set(cmp.expected) == {1, 2, 3, 4}
+        assert dict(cmp.schemes())["corelite"] is cmp.corelite
+
+    def test_figure7_8_uses_topology1(self):
+        cmp = figure7_8(duration=6.0)
+        assert len(cmp.corelite.flows) == 20
+        # flow 9 crosses all three congested links
+        assert "C2->C3" in cmp.corelite.flows[9].path_links
+
+    def test_figure9_10_schedules_restarts(self):
+        cmp = figure9_10(duration=6.0, lifetime=2.0, restart_after=1.0)
+        schedule = cmp.corelite.flows[1].schedule
+        assert len(schedule) == 2
+        assert schedule[0] == (1.0, 3.0)
+        assert schedule[1][0] == 4.0
+
+    def test_same_seed_same_expected(self):
+        a = figure5_6(duration=5.0, num_flows=3, seed=5)
+        b = figure5_6(duration=5.0, num_flows=3, seed=5)
+        assert a.expected == b.expected

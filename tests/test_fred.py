@@ -1,0 +1,84 @@
+"""Unit tests for the FRED baseline queue."""
+
+import random
+
+import pytest
+
+from repro.aqm.fred import FredQueue
+from repro.errors import ConfigurationError
+from repro.sim.packet import Packet
+
+
+def data(flow=1, seq=0):
+    return Packet.data(flow, "A", "B", seq=seq, now=0.0)
+
+
+def test_tracks_only_buffered_flows():
+    q = FredQueue(capacity=40)
+    q.push(data(flow=1), 0.0)
+    q.push(data(flow=2), 0.0)
+    assert q.active_flows == 2
+    q.pop(0.0)
+    q.pop(0.0)
+    assert q.active_flows == 0
+
+
+def test_per_flow_backlog_counts():
+    q = FredQueue(capacity=40)
+    for i in range(3):
+        q.push(data(flow=1, seq=i), 0.0)
+    q.push(data(flow=2), 0.0)
+    assert q.flow_backlog(1) == 3
+    assert q.flow_backlog(2) == 1
+    q.pop(0.0)
+    assert q.flow_backlog(1) == 2
+
+
+def test_per_flow_cap_drops_hog():
+    q = FredQueue(capacity=40, min_thresh=5, max_thresh=15)
+    # one flow tries to buffer far beyond maxq = 7.5
+    outcomes = [q.push(data(flow=1, seq=i), 0.0) for i in range(12)]
+    assert not all(outcomes)
+    assert q.per_flow_cap_drops > 0
+    assert q.flow_backlog(1) <= 8
+    assert q.strikes(1) > 0
+
+
+def test_fragile_flow_protected_while_hog_is_dropped():
+    q = FredQueue(capacity=40, min_thresh=5, max_thresh=15, avg_weight=0.2,
+                  rng=random.Random(0))
+    accepted_light = 0
+    for i in range(60):
+        q.push(data(flow=1, seq=i), 0.0)  # hog keeps pounding
+        if i % 10 == 0:
+            if q.push(data(flow=2, seq=i), 0.0):  # light flow, small backlog
+                accepted_light += 1
+            q.pop(0.0)  # drain a little
+    # light flow stays under its allowance: never dropped
+    assert accepted_light == 6
+
+
+def test_strike_resets_when_flow_drains():
+    q = FredQueue(capacity=40, min_thresh=5, max_thresh=15)
+    for i in range(12):
+        q.push(data(flow=1, seq=i), 0.0)
+    assert q.strikes(1) > 0
+    while q.pop(0.0) is not None:
+        pass
+    assert q.strikes(1) == 0  # state discarded with the last packet
+
+
+def test_physical_capacity_enforced():
+    q = FredQueue(capacity=5, min_thresh=2, max_thresh=5, minq=1)
+    for flow in range(10):
+        q.push(data(flow=flow), 0.0)
+    assert q.occupancy <= 5
+
+
+def test_invalid_parameters():
+    with pytest.raises(ConfigurationError):
+        FredQueue(capacity=40, min_thresh=20, max_thresh=10)
+    with pytest.raises(ConfigurationError):
+        FredQueue(capacity=40, minq=0)
+    with pytest.raises(ConfigurationError):
+        FredQueue(capacity=40, max_prob=0.0)

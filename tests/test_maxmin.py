@@ -1,0 +1,251 @@
+"""Unit and property tests for the weighted max-min allocator."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, FlowError
+from repro.fairness.maxmin import (
+    FlowDemand,
+    weighted_maxmin,
+    weighted_maxmin_with_minimums,
+)
+
+
+def test_single_link_equal_weights():
+    alloc = weighted_maxmin(
+        {"L": 100.0},
+        [FlowDemand(1, 1.0, ("L",)), FlowDemand(2, 1.0, ("L",))],
+    )
+    assert alloc == {1: pytest.approx(50.0), 2: pytest.approx(50.0)}
+
+
+def test_single_link_weighted_split():
+    alloc = weighted_maxmin(
+        {"L": 90.0},
+        [FlowDemand(1, 1.0, ("L",)), FlowDemand(2, 2.0, ("L",))],
+    )
+    assert alloc[1] == pytest.approx(30.0)
+    assert alloc[2] == pytest.approx(60.0)
+
+
+def test_demand_limited_flow_frees_capacity():
+    alloc = weighted_maxmin(
+        {"L": 100.0},
+        [FlowDemand(1, 1.0, ("L",), demand=10.0), FlowDemand(2, 1.0, ("L",))],
+    )
+    assert alloc[1] == pytest.approx(10.0)
+    assert alloc[2] == pytest.approx(90.0)
+
+
+def test_classic_parking_lot():
+    # Long flow crosses both links; two short flows take one link each.
+    alloc = weighted_maxmin(
+        {"L1": 100.0, "L2": 100.0},
+        [
+            FlowDemand("long", 1.0, ("L1", "L2")),
+            FlowDemand("s1", 1.0, ("L1",)),
+            FlowDemand("s2", 1.0, ("L2",)),
+        ],
+    )
+    assert alloc["long"] == pytest.approx(50.0)
+    assert alloc["s1"] == pytest.approx(50.0)
+    assert alloc["s2"] == pytest.approx(50.0)
+
+
+def test_multi_bottleneck_second_level():
+    # After the 10-capacity link freezes flow A at 5, flow B continues to
+    # fill the 100-capacity link.
+    alloc = weighted_maxmin(
+        {"tight": 10.0, "wide": 100.0},
+        [
+            FlowDemand("A", 1.0, ("tight", "wide")),
+            FlowDemand("a2", 1.0, ("tight",)),
+            FlowDemand("B", 1.0, ("wide",)),
+        ],
+    )
+    assert alloc["A"] == pytest.approx(5.0)
+    assert alloc["a2"] == pytest.approx(5.0)
+    assert alloc["B"] == pytest.approx(95.0)
+
+
+def test_paper_topology1_expected_rates():
+    """The §4.1 numbers: 25 pkt/s per unit weight with all 20 flows."""
+    from repro.experiments.scenarios import PATH_ASSIGNMENT, WEIGHTS_41
+
+    links = {"C1-C2": 500.0, "C2-C3": 500.0, "C3-C4": 500.0}
+    segs = {("C1", "C2"): ("C1-C2",), ("C1", "C3"): ("C1-C2", "C2-C3"),
+            ("C1", "C4"): ("C1-C2", "C2-C3", "C3-C4"),
+            ("C2", "C3"): ("C2-C3",), ("C2", "C4"): ("C2-C3", "C3-C4"),
+            ("C3", "C4"): ("C3-C4",)}
+    flows = [
+        FlowDemand(fid, WEIGHTS_41[fid], segs[PATH_ASSIGNMENT[fid]])
+        for fid in PATH_ASSIGNMENT
+    ]
+    alloc = weighted_maxmin(links, flows)
+    for fid, rate in alloc.items():
+        assert rate / WEIGHTS_41[fid] == pytest.approx(25.0)
+
+    # Without flows 1, 9, 10, 11, 16 the share rises to 33.33.
+    absent = {1, 9, 10, 11, 16}
+    alloc2 = weighted_maxmin(links, [f for f in flows if f.flow_id not in absent])
+    for fid, rate in alloc2.items():
+        assert rate / WEIGHTS_41[fid] == pytest.approx(100.0 / 3.0)
+
+
+def test_flow_with_no_links_needs_finite_demand():
+    with pytest.raises(FlowError):
+        weighted_maxmin({}, [FlowDemand(1, 1.0, ())])
+    alloc = weighted_maxmin({}, [FlowDemand(1, 1.0, (), demand=7.0)])
+    assert alloc[1] == pytest.approx(7.0)
+
+
+def test_unknown_link_rejected():
+    with pytest.raises(FlowError):
+        weighted_maxmin({"L": 1.0}, [FlowDemand(1, 1.0, ("nope",))])
+
+
+def test_duplicate_flow_id_rejected():
+    with pytest.raises(FlowError):
+        weighted_maxmin(
+            {"L": 1.0},
+            [FlowDemand(1, 1.0, ("L",)), FlowDemand(1, 1.0, ("L",))],
+        )
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ConfigurationError):
+        weighted_maxmin({"L": -1.0}, [FlowDemand(1, 1.0, ("L",))])
+
+
+def test_invalid_weight_rejected():
+    with pytest.raises(FlowError):
+        FlowDemand(1, 0.0, ("L",))
+    with pytest.raises(FlowError):
+        FlowDemand(1, -2.0, ("L",))
+
+
+def test_zero_capacity_link():
+    alloc = weighted_maxmin({"L": 0.0}, [FlowDemand(1, 1.0, ("L",))])
+    assert alloc[1] == 0.0
+
+
+def test_links_accepts_list():
+    f = FlowDemand(1, 1.0, ["L1", "L2"])
+    assert f.links == ("L1", "L2")
+
+
+class TestMinimumRateContracts:
+    def test_minimums_are_honored_and_excess_is_weighted(self):
+        alloc = weighted_maxmin_with_minimums(
+            {"L": 100.0},
+            [FlowDemand(1, 1.0, ("L",)), FlowDemand(2, 1.0, ("L",))],
+            minimums={1: 40.0},
+        )
+        # 40 reserved; the remaining 60 splits 30/30.
+        assert alloc[1] == pytest.approx(70.0)
+        assert alloc[2] == pytest.approx(30.0)
+
+    def test_infeasible_contracts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            weighted_maxmin_with_minimums(
+                {"L": 100.0},
+                [FlowDemand(1, 1.0, ("L",))],
+                minimums={1: 150.0},
+            )
+
+    def test_no_minimums_matches_plain_maxmin(self):
+        flows = [FlowDemand(1, 1.0, ("L",)), FlowDemand(2, 3.0, ("L",))]
+        assert weighted_maxmin_with_minimums({"L": 80.0}, flows, {}) == weighted_maxmin(
+            {"L": 80.0}, flows
+        )
+
+    def test_negative_minimum_rejected(self):
+        with pytest.raises(ConfigurationError):
+            weighted_maxmin_with_minimums(
+                {"L": 10.0}, [FlowDemand(1, 1.0, ("L",))], minimums={1: -1.0}
+            )
+
+
+# ---------------------------------------------------------------------------
+# Property-based tests
+# ---------------------------------------------------------------------------
+
+link_names = st.sampled_from(["L1", "L2", "L3", "L4"])
+
+
+@st.composite
+def allocation_problems(draw):
+    n_links = draw(st.integers(1, 4))
+    links = {f"L{i}": draw(st.floats(1.0, 1000.0)) for i in range(n_links)}
+    n_flows = draw(st.integers(1, 8))
+    flows = []
+    for fid in range(n_flows):
+        n_path = draw(st.integers(1, n_links))
+        path = tuple(draw(st.permutations(sorted(links)))[:n_path])
+        weight = draw(st.floats(0.1, 10.0))
+        demand = draw(st.one_of(st.just(math.inf), st.floats(0.1, 2000.0)))
+        flows.append(FlowDemand(fid, weight, path, demand))
+    return links, flows
+
+
+@given(allocation_problems())
+@settings(max_examples=60, deadline=None)
+def test_allocation_is_feasible(problem):
+    links, flows = problem
+    alloc = weighted_maxmin(links, flows)
+    # No link oversubscribed.
+    for link, cap in links.items():
+        load = sum(alloc[f.flow_id] for f in flows if link in f.links)
+        assert load <= cap * (1 + 1e-6) + 1e-6
+    # No flow exceeds its demand, no negative rates.
+    for f in flows:
+        assert -1e-9 <= alloc[f.flow_id] <= f.demand * (1 + 1e-9) + 1e-9
+
+
+@given(allocation_problems())
+@settings(max_examples=60, deadline=None)
+def test_allocation_is_maxmin_fair(problem):
+    """No flow can be raised: it is either demand-limited or crosses a
+    saturated link on which it has a maximal normalized rate."""
+    links, flows = problem
+    alloc = weighted_maxmin(links, flows)
+    load = {
+        link: sum(alloc[f.flow_id] for f in flows if link in f.links) for link in links
+    }
+    for f in flows:
+        rate = alloc[f.flow_id]
+        if rate >= f.demand * (1 - 1e-6) - 1e-9:
+            continue  # demand-limited
+        blocking = []
+        for link in f.links:
+            if load[link] >= links[link] * (1 - 1e-6) - 1e-9:
+                blocking.append(link)
+        assert blocking, f"flow {f.flow_id} is not limited by demand or any link"
+        # On at least one saturated link, f's normalized rate must be >=
+        # (approximately) that of some other flow -- i.e. f is among the
+        # top normalized rates there (max-min condition).
+        norm = rate / f.weight
+        ok = False
+        for link in blocking:
+            others = [
+                alloc[g.flow_id] / g.weight
+                for g in flows
+                if link in g.links and g.flow_id != f.flow_id
+            ]
+            if not others or norm >= max(others) * (1 - 1e-6) - 1e-9:
+                ok = True
+                break
+        assert ok, f"flow {f.flow_id} could be raised at others' expense"
+
+
+@given(st.lists(st.floats(0.1, 10.0), min_size=1, max_size=10))
+@settings(max_examples=50, deadline=None)
+def test_single_link_allocation_proportional_to_weights(weights):
+    flows = [FlowDemand(i, w, ("L",)) for i, w in enumerate(weights)]
+    alloc = weighted_maxmin({"L": 100.0}, flows)
+    total_w = sum(weights)
+    for i, w in enumerate(weights):
+        assert alloc[i] == pytest.approx(100.0 * w / total_w, rel=1e-6)

@@ -1,0 +1,52 @@
+"""Unit tests for the packet model."""
+
+from repro.sim.packet import Packet, PacketKind
+
+
+def test_data_packet_fields():
+    p = Packet.data(7, "Ein", "Eout", seq=3, now=1.5)
+    assert p.kind == PacketKind.DATA
+    assert p.flow_id == 7
+    assert p.size == 1.0
+    assert p.seq == 3
+    assert (p.src, p.dst) == ("Ein", "Eout")
+    assert p.created_at == 1.5
+    assert p.is_data and not p.is_marker
+    assert p.ecn is False
+
+
+def test_packet_ids_are_unique_and_increasing():
+    a = Packet.data(1, "A", "B", 0, 0.0)
+    b = Packet.data(1, "A", "B", 1, 0.0)
+    assert b.pid > a.pid
+
+
+def test_marker_is_zero_size_and_carries_origin():
+    m = Packet.marker(3, "Ein3", "Eout3", label=12.5, now=2.0)
+    assert m.kind == PacketKind.MARKER
+    assert m.size == 0.0
+    assert m.origin_edge == "Ein3"
+    assert m.label == 12.5
+    assert m.is_marker and not m.is_data
+
+
+def test_marker_to_feedback_addresses_origin_edge():
+    m = Packet.marker(3, "Ein3", "Eout3", label=12.5, now=2.0)
+    fb = m.to_feedback(core_link="C1->C2", now=5.0)
+    assert fb.kind == PacketKind.FEEDBACK
+    assert fb.dst == "Ein3"
+    assert fb.feedback_from == "C1->C2"
+    assert fb.flow_id == 3
+    assert fb.label == 12.5
+    assert fb.size == 0.0
+    assert fb.created_at == 5.0
+
+
+def test_data_packet_can_carry_csfq_label():
+    p = Packet.data(1, "A", "B", seq=0, now=0.0, label=33.3)
+    assert p.label == 33.3
+
+
+def test_packet_kind_values_are_distinct():
+    kinds = {PacketKind.DATA, PacketKind.MARKER, PacketKind.FEEDBACK, PacketKind.LOSS_NOTIFY}
+    assert len(kinds) == 4

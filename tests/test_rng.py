@@ -1,0 +1,45 @@
+"""Unit tests for the deterministic RNG registry."""
+
+from repro.sim.rng import RngRegistry
+
+
+def test_same_seed_same_stream_is_reproducible():
+    a = RngRegistry(seed=42).stream("x")
+    b = RngRegistry(seed=42).stream("x")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_names_give_independent_streams():
+    reg = RngRegistry(seed=42)
+    xs = [reg.stream("x").random() for _ in range(5)]
+    ys = [reg.stream("y").random() for _ in range(5)]
+    assert xs != ys
+
+
+def test_different_seeds_differ():
+    a = RngRegistry(seed=1).stream("x").random()
+    b = RngRegistry(seed=2).stream("x").random()
+    assert a != b
+
+
+def test_stream_is_cached():
+    reg = RngRegistry(seed=0)
+    assert reg.stream("x") is reg.stream("x")
+
+
+def test_creating_other_streams_does_not_perturb_existing():
+    reg1 = RngRegistry(seed=7)
+    s = reg1.stream("target")
+    first = s.random()
+
+    reg2 = RngRegistry(seed=7)
+    reg2.stream("unrelated-a")
+    reg2.stream("unrelated-b")
+    assert reg2.stream("target").random() == first
+
+
+def test_contains():
+    reg = RngRegistry(seed=0)
+    assert "x" not in reg
+    reg.stream("x")
+    assert "x" in reg

@@ -1,0 +1,142 @@
+"""Tests for the declarative scenario DSL."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.network import CoreliteNetwork, CsfqNetwork, FifoLossNetwork
+from repro.experiments.scenario_dsl import (
+    build_network,
+    load_scenario_file,
+    run_scenario,
+)
+
+
+def basic_scenario(**overrides):
+    scenario = {
+        "scheme": "corelite",
+        "seed": 1,
+        "duration": 10.0,
+        "flows": [
+            {"id": 1, "weight": 1.0},
+            {"id": 2, "weight": 2.0},
+        ],
+    }
+    scenario.update(overrides)
+    return scenario
+
+
+class TestBuild:
+    def test_default_corelite_two_cores(self):
+        net = build_network(basic_scenario())
+        assert isinstance(net, CoreliteNetwork)
+        assert net.core_names == ["C1", "C2"]
+        assert set(net.flows) == {1, 2}
+        assert net.seed == 1
+
+    def test_scheme_selection(self):
+        assert isinstance(build_network(basic_scenario(scheme="csfq")), CsfqNetwork)
+        assert isinstance(build_network(basic_scenario(scheme="fifo")), FifoLossNetwork)
+        with pytest.raises(ConfigurationError):
+            build_network(basic_scenario(scheme="quantum"))
+
+    def test_network_parameters(self):
+        net = build_network(basic_scenario(network={"num_cores": 3,
+                                                    "core_capacity_pps": 250.0}))
+        assert net.core_names == ["C1", "C2", "C3"]
+        assert net.topology.links["C1->C2"].bandwidth_pps == 250.0
+
+    def test_core_links_graph(self):
+        scenario = basic_scenario(
+            network={"core_links": [["H", "A", 500, 0.02], ["H", "B", 500, 0.02]]},
+            flows=[{"id": 1, "ingress": "A", "egress": "B"}],
+        )
+        net = build_network(scenario)
+        assert set(net.core_names) == {"H", "A", "B"}
+
+    def test_config_fields(self):
+        net = build_network(basic_scenario(config={"edge_epoch": 0.2, "qthresh": 4.0}))
+        assert net.config.edge_epoch == 0.2
+        assert net.config.qthresh == 4.0
+
+    def test_feedback_scheme_by_name(self):
+        net = build_network(basic_scenario(config={"feedback_scheme": "marker_cache"}))
+        assert net.config.feedback_scheme.value == "marker_cache"
+
+    def test_schedule_with_null_stop(self):
+        scenario = basic_scenario(
+            flows=[{"id": 1, "schedule": [[5, 20], [30, None]]}]
+        )
+        net = build_network(scenario)
+        assert net.flows[1].schedule == ((5.0, 20.0), (30.0, math.inf))
+
+    def test_sources_and_transport(self):
+        scenario = basic_scenario(flows=[
+            {"id": 1, "source": {"kind": "poisson", "mean_rate": 60}},
+            {"id": 2, "source": {"kind": "onoff", "peak_rate": 300,
+                                 "mean_on": 0.5, "mean_off": 1.0}},
+            {"id": 3, "source": {"kind": "transfer", "total_packets": 100,
+                                 "peak_rate": 50}},
+            {"id": 4, "transport": "tcp"},
+        ])
+        net = build_network(scenario)
+        assert net.flows[1].source.kind == "poisson"
+        assert net.flows[3].source.total_packets == 100
+        assert net.flows[4].transport == "tcp"
+
+    def test_micro_flows(self):
+        scenario = basic_scenario(flows=[
+            {"id": 1, "micro_flows": [
+                [1, {"kind": "poisson", "mean_rate": 100}],
+                [2, {"kind": "poisson", "mean_rate": 100}],
+            ]},
+        ])
+        net = build_network(scenario)
+        assert len(net.flows[1].micro_flows) == 2
+
+    def test_unknown_keys_rejected_everywhere(self):
+        with pytest.raises(ConfigurationError):
+            build_network(basic_scenario(tyop=1))
+        with pytest.raises(ConfigurationError):
+            build_network(basic_scenario(network={"cores": 3}))
+        with pytest.raises(ConfigurationError):
+            build_network(basic_scenario(flows=[{"id": 1, "wieght": 2}]))
+        with pytest.raises(ConfigurationError):
+            build_network(basic_scenario(
+                flows=[{"id": 1, "source": {"kind": "poisson", "rate": 5}}]
+            ))
+
+    def test_no_flows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_network(basic_scenario(flows=[]))
+
+
+class TestRun:
+    def test_end_to_end(self):
+        result = run_scenario(basic_scenario(duration=20.0))
+        assert result.scheme == "corelite"
+        rates = result.mean_rates((15.0, 20.0))
+        assert rates[2] > rates[1]
+
+    def test_record_queues_flag(self):
+        result = run_scenario(basic_scenario(duration=5.0, record_queues=True))
+        assert "C1->C2" in result.queue_series
+
+    def test_from_file_and_cli(self, tmp_path, capsys):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(basic_scenario(duration=8.0)))
+        assert load_scenario_file(str(path))["duration"] == 8.0
+
+        from repro.cli import main
+
+        assert main(["run", str(path), "--no-chart"]) == 0
+        out = capsys.readouterr().out
+        assert "corelite" in out
+
+    def test_non_object_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ConfigurationError):
+            load_scenario_file(str(path))

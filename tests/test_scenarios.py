@@ -1,0 +1,126 @@
+"""Unit tests for the paper's workload definitions."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.scenarios import (
+    PATH_ASSIGNMENT,
+    WEIGHTS_41,
+    WEIGHTS_43,
+    churn_schedule,
+    fig3_schedule,
+    staggered_schedule,
+    startup_flows,
+    topology1_flows,
+)
+
+
+def test_path_assignment_matches_paper():
+    assert PATH_ASSIGNMENT[1] == ("C1", "C2")
+    assert PATH_ASSIGNMENT[5] == ("C1", "C2")
+    assert PATH_ASSIGNMENT[6] == ("C1", "C3")
+    assert PATH_ASSIGNMENT[9] == ("C1", "C4")
+    assert PATH_ASSIGNMENT[11] == ("C2", "C3")
+    assert PATH_ASSIGNMENT[13] == ("C2", "C4")
+    assert PATH_ASSIGNMENT[16] == ("C3", "C4")
+    assert PATH_ASSIGNMENT[20] == ("C3", "C4")
+    assert set(PATH_ASSIGNMENT) == set(range(1, 21))
+
+
+def _weight_on_link(weights, link):
+    """Aggregate weight crossing a congested link (C1C2/C2C3/C3C4)."""
+    crossing = {
+        "C1C2": [f for f, (a, b) in PATH_ASSIGNMENT.items() if a == "C1"],
+        "C2C3": [
+            f
+            for f, (a, b) in PATH_ASSIGNMENT.items()
+            if (a, b) in (("C1", "C3"), ("C1", "C4"), ("C2", "C3"), ("C2", "C4"))
+        ],
+        "C3C4": [
+            f
+            for f, (a, b) in PATH_ASSIGNMENT.items()
+            if (a, b) in (("C1", "C4"), ("C2", "C4"), ("C3", "C4"))
+        ],
+    }[link]
+    return sum(weights[f] for f in crossing)
+
+
+def test_weights_41_give_20_units_per_congested_link():
+    """The §4.1 magic: every congested link carries exactly 20 weight
+    units, so the fair share is a flat 25 pkt/s per unit weight."""
+    for link in ("C1C2", "C2C3", "C3C4"):
+        assert _weight_on_link(WEIGHTS_41, link) == 20.0
+
+
+def test_weights_41_assignment():
+    assert WEIGHTS_41[5] == WEIGHTS_41[15] == 3.0
+    assert WEIGHTS_41[1] == WEIGHTS_41[11] == WEIGHTS_41[16] == 1.0
+    assert WEIGHTS_41[2] == 2.0
+
+
+def test_weights_43_assignment():
+    assert WEIGHTS_43[5] == WEIGHTS_43[10] == WEIGHTS_43[15] == 3.0
+    assert WEIGHTS_43[1] == WEIGHTS_43[11] == WEIGHTS_43[16] == 1.0
+
+
+def test_topology1_flows_builds_20_specs():
+    specs = topology1_flows(WEIGHTS_41, fig3_schedule())
+    assert len(specs) == 20
+    by_id = {s.flow_id: s for s in specs}
+    assert by_id[9].ingress_core == "C1" and by_id[9].egress_core == "C4"
+    assert by_id[9].weight == 2.0
+
+
+def test_topology1_flows_requires_full_weight_cover():
+    with pytest.raises(ConfigurationError):
+        topology1_flows({1: 1.0}, {})
+
+
+class TestFig3Schedule:
+    def test_late_flows(self):
+        sched = fig3_schedule()
+        for fid in (1, 9, 10, 11, 16):
+            assert sched[fid] == ((250.0, 500.0),)
+        assert sched[2] == ((0.0, 750.0),)
+
+    def test_scaling(self):
+        sched = fig3_schedule(scale=0.1)
+        assert sched[1] == ((25.0, 50.0),)
+        assert sched[2] == ((0.0, 75.0),)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigurationError):
+            fig3_schedule(scale=0.0)
+
+
+class TestStartupFlows:
+    def test_weights_are_ceil_i_over_2(self):
+        specs = startup_flows(10)
+        weights = [s.weight for s in specs]
+        assert weights == [1, 1, 2, 2, 3, 3, 4, 4, 5, 5]
+
+    def test_all_on_single_bottleneck(self):
+        for s in startup_flows(10):
+            assert (s.ingress_core, s.egress_core) == ("C1", "C2")
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            startup_flows(0)
+
+
+def test_staggered_schedule():
+    sched = staggered_schedule(num_flows=5, gap=2.0)
+    assert sched[1] == ((2.0, math.inf),)
+    assert sched[5] == ((10.0, math.inf),)
+
+
+def test_churn_schedule():
+    sched = churn_schedule(num_flows=3, gap=1.0, lifetime=60.0, restart_after=5.0)
+    assert sched[2] == ((2.0, 62.0), (67.0, math.inf))
+
+
+def test_churn_schedule_validation():
+    with pytest.raises(ConfigurationError):
+        churn_schedule(lifetime=0.0)

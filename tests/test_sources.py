@@ -1,0 +1,125 @@
+"""Unit tests for the traffic source models."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.sources import (
+    BACKLOGGED,
+    BackloggedSource,
+    OnOffSource,
+    PoissonSource,
+    SourceSpec,
+    onoff_source,
+    poisson_source,
+)
+
+
+def drive(model, duration, seed=0):
+    sim = Simulator()
+    deposits = []
+    model.start(sim, lambda n: deposits.append((sim.now, n)), random.Random(seed))
+    sim.run(until=duration)
+    return deposits
+
+
+class TestPoisson:
+    def test_mean_rate(self):
+        model = PoissonSource(mean_rate=100.0)
+        deposits = drive(model, duration=50.0)
+        total = sum(n for _, n in deposits)
+        assert total == pytest.approx(5000, rel=0.1)
+
+    def test_gaps_are_variable(self):
+        model = PoissonSource(mean_rate=50.0)
+        deposits = drive(model, duration=20.0)
+        gaps = [b - a for (a, _), (b, _) in zip(deposits, deposits[1:])]
+        assert max(gaps) > 3 * (sum(gaps) / len(gaps))
+
+    def test_stop_halts(self):
+        sim = Simulator()
+        model = PoissonSource(mean_rate=100.0)
+        count = []
+        model.start(sim, lambda n: count.append(n), random.Random(0))
+        sim.run(until=1.0)
+        model.stop()
+        n_before = len(count)
+        sim.run(until=10.0)
+        assert len(count) == n_before
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            PoissonSource(0.0)
+
+
+class TestOnOff:
+    def test_mean_rate_formula(self):
+        model = OnOffSource(peak_rate=300.0, mean_on=1.0, mean_off=2.0)
+        assert model.mean_rate == pytest.approx(100.0)
+
+    def test_long_run_offered_load(self):
+        model = OnOffSource(peak_rate=300.0, mean_on=0.5, mean_off=1.0)
+        deposits = drive(model, duration=300.0)
+        total = sum(n for _, n in deposits)
+        assert total == pytest.approx(300.0 * 300.0 / 3.0, rel=0.2)
+
+    def test_bursts_at_peak_rate(self):
+        model = OnOffSource(peak_rate=100.0, mean_on=5.0, mean_off=5.0)
+        deposits = drive(model, duration=30.0)
+        gaps = [b - a for (a, _), (b, _) in zip(deposits, deposits[1:])]
+        # within a burst, gaps are exactly 1/peak
+        in_burst = [g for g in gaps if g < 0.05]
+        assert in_burst and all(g == pytest.approx(0.01) for g in in_burst)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            OnOffSource(0.0, 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            OnOffSource(10.0, 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            OnOffSource(10.0, 1.0, -1.0)
+
+
+class TestBacklogged:
+    def test_never_deposits(self):
+        model = BackloggedSource()
+        assert drive(model, duration=10.0) == []
+
+
+class TestSourceSpec:
+    def test_backlogged_sentinel(self):
+        assert BACKLOGGED.is_backlogged
+        assert BACKLOGGED.offered_rate() == float("inf")
+
+    def test_poisson_spec(self):
+        spec = poisson_source(60.0)
+        assert spec.offered_rate() == 60.0
+        assert isinstance(spec.build(), PoissonSource)
+
+    def test_onoff_spec(self):
+        spec = onoff_source(300.0, 0.5, 1.0)
+        assert spec.offered_rate() == pytest.approx(100.0)
+        assert isinstance(spec.build(), OnOffSource)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SourceSpec("fractal")
+
+    def test_invalid_factory_args(self):
+        with pytest.raises(ConfigurationError):
+            poisson_source(-1.0)
+        with pytest.raises(ConfigurationError):
+            onoff_source(10.0, 0.0, 1.0)
+
+
+def test_start_is_idempotent_while_running():
+    sim = Simulator()
+    model = PoissonSource(100.0)
+    count = []
+    model.start(sim, lambda n: count.append(n), random.Random(0))
+    model.start(sim, lambda n: count.append(n), random.Random(1))
+    sim.run(until=5.0)
+    # one generator's worth of arrivals, not two
+    assert sum(count) == pytest.approx(500, rel=0.3)

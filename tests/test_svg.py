@@ -1,0 +1,87 @@
+"""Tests for the SVG chart renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.svg import render_series_svg, save_series_svg, _nice_ticks
+from repro.sim.monitor import Series
+
+
+def make_series(name="s", n=50, scale=1.0):
+    s = Series(name)
+    for t in range(n):
+        s.append(float(t), scale * t)
+    return s
+
+
+class TestRender:
+    def test_produces_wellformed_svg(self):
+        svg = render_series_svg({"a": make_series()}, title="T")
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_one_polyline_per_series(self):
+        svg = render_series_svg({"a": make_series(), "b": make_series(scale=2.0)})
+        assert svg.count("<polyline") == 2
+
+    def test_legend_and_title_present(self):
+        svg = render_series_svg({"flow 1 (w=2)": make_series()}, title="Fig 5")
+        assert "Fig 5" in svg
+        assert "flow 1 (w=2)" in svg
+
+    def test_escapes_markup_in_names(self):
+        svg = render_series_svg({"a<b&c": make_series()}, title='q"t')
+        assert "a&lt;b&amp;c" in svg
+        ET.fromstring(svg)  # still well-formed
+
+    def test_values_clamped_to_y_max(self):
+        svg = render_series_svg({"a": make_series(n=10, scale=100.0)}, y_max=50.0)
+        ET.fromstring(svg)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_series_svg({})
+        with pytest.raises(ConfigurationError):
+            render_series_svg({"a": Series("a")})
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_series_svg({"a": make_series()}, width=100, height=100)
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "fig.svg"
+        save_series_svg(str(path), {"a": make_series()})
+        assert path.read_text().startswith("<svg")
+
+
+class TestTicks:
+    def test_ticks_cover_range(self):
+        ticks = _nice_ticks(0.0, 100.0)
+        assert ticks[0] >= 0.0
+        assert ticks[-1] <= 100.0 + 1e-9
+        assert len(ticks) >= 4
+
+    def test_round_steps(self):
+        ticks = _nice_ticks(0.0, 87.0)
+        steps = {round(b - a, 6) for a, b in zip(ticks, ticks[1:])}
+        assert len(steps) == 1  # uniform
+        step = steps.pop()
+        assert step in (10.0, 20.0, 25.0, 50.0, 12.5, 5.0, 2.5, 2.0, 1.0, 15.0) or step > 0
+
+    def test_degenerate_range(self):
+        ticks = _nice_ticks(5.0, 5.0)
+        assert ticks  # still yields something
+
+
+def test_cli_svg_export(tmp_path, capsys):
+    from repro.cli import main
+
+    out_dir = tmp_path / "svgs"
+    assert main([
+        "fig5_6", "--duration", "12", "--no-chart", "--svg-dir", str(out_dir),
+    ]) == 0
+    files = sorted(p.name for p in out_dir.iterdir())
+    assert files == ["fig5_6_corelite.svg", "fig5_6_csfq.svg"]
+    ET.fromstring((out_dir / "fig5_6_corelite.svg").read_text())

@@ -1,0 +1,136 @@
+"""Tests for the closed-form control-loop predictions, checked against
+the actual RateController."""
+
+import math
+
+import pytest
+
+from repro.core.adaptation import Phase, RateController
+from repro.core.config import CoreliteConfig
+from repro.core.theory import (
+    LoopBudget,
+    feedback_latency,
+    linear_climb_time,
+    loop_budget,
+    oscillation_band,
+    slow_start_exit,
+    throttle_authority,
+)
+from repro.errors import ConfigurationError
+
+
+def simulate_slow_start(config, weight):
+    """Run the real controller with no feedback until it goes linear."""
+    c = RateController(config, weight=weight, start_time=0.0)
+    t = 0.0
+    while c.phase is Phase.SLOW_START:
+        t += config.edge_epoch
+        c.on_epoch(0, t)
+        if t > 1000.0:
+            return math.inf, c.rate
+    return t, c.rate
+
+
+@pytest.mark.parametrize("weight", [1.0, 2.0, 3.0, 4.0, 5.0])
+def test_slow_start_exit_matches_controller(weight):
+    config = CoreliteConfig()
+    predicted_time, predicted_rate = slow_start_exit(config, weight)
+    actual_time, actual_rate = simulate_slow_start(config, weight)
+    assert actual_rate == pytest.approx(predicted_rate)
+    # The controller checks once per edge epoch, so allow one epoch slack.
+    assert actual_time == pytest.approx(predicted_time, abs=config.edge_epoch + 1e-9)
+
+
+def test_slow_start_exit_rate_brackets_normalized_threshold():
+    """The exit normalized rate lands in (ss_thresh/2, ss_thresh] — where
+    the powers of two fall for the weight decides the exact point."""
+    config = CoreliteConfig()
+    for weight in (1.0, 2.0, 3.0, 4.0, 5.0):
+        _t, rate = slow_start_exit(config, weight)
+        assert config.ss_thresh / 2.0 < rate / weight <= config.ss_thresh
+
+
+def test_slow_start_pinned_at_max_rate_never_exits_by_threshold():
+    config = CoreliteConfig(max_rate=10.0)
+    t, rate = slow_start_exit(config, weight=1.0)
+    assert t == math.inf
+    assert rate == 10.0
+
+
+def test_linear_climb_time_matches_controller():
+    config = CoreliteConfig()
+    c = RateController(config, weight=1.0)
+    c.on_epoch(1, 0.1)  # force linear
+    start = c.rate
+    target = start + 10.0
+    predicted = linear_climb_time(config, start, target)
+    t = 0.1
+    while c.rate < target:
+        t += config.edge_epoch
+        c.on_epoch(0, t)
+    assert (t - 0.1) == pytest.approx(predicted, abs=config.edge_epoch + 1e-9)
+
+
+def test_linear_climb_time_validation():
+    config = CoreliteConfig()
+    with pytest.raises(ConfigurationError):
+        linear_climb_time(config, 10.0, 5.0)
+
+
+def test_oscillation_band_brackets_fair_rate():
+    config = CoreliteConfig()
+    lo, hi = oscillation_band(config, fair_rate=50.0, feedback_per_event=2.0)
+    assert lo < 50.0 < hi
+    assert lo >= 0.0
+
+
+def test_feedback_latency_components():
+    config = CoreliteConfig()
+    lat = feedback_latency(config, reverse_path_delay=0.08)
+    assert lat == pytest.approx(2 * 0.1 + 0.08 + 0.3)
+
+
+def test_throttle_authority_scales_with_beta_and_supply():
+    config = CoreliteConfig()
+    base = throttle_authority(config, total_normalized_rate=167.0)
+    double_beta = throttle_authority(
+        CoreliteConfig(beta=2.0), total_normalized_rate=167.0
+    )
+    assert double_beta == pytest.approx(2 * base)
+    assert throttle_authority(config, 0.0) == 0.0
+
+
+class TestLoopBudget:
+    def test_default_config_is_stable_for_the_paper_workloads(self):
+        """At edge_epoch=0.3 the §4.2 link (Σ bg/w = 167) has authority
+        above the 10-flow increase pressure — the regime with few drops."""
+        config = CoreliteConfig()
+        budget = loop_budget(
+            config, num_flows=10, total_normalized_rate=167.0, reverse_path_delay=0.08
+        )
+        assert budget.stable
+
+    def test_paper_naive_edge_epoch_is_unstable(self):
+        """At edge_epoch=0.1 the same link is pressure-dominated — this is
+        exactly the limit cycle DESIGN.md §9 documents."""
+        config = CoreliteConfig(edge_epoch=0.1)
+        budget = loop_budget(
+            config, num_flows=10, total_normalized_rate=167.0, reverse_path_delay=0.08
+        )
+        assert not budget.stable
+
+    def test_overshoot_grows_with_latency(self):
+        fast = loop_budget(CoreliteConfig(core_epoch=0.05), 10, 167.0, 0.08)
+        slow = loop_budget(CoreliteConfig(core_epoch=0.4), 10, 167.0, 0.08)
+        assert slow.overshoot_packets > fast.overshoot_packets
+
+    def test_validation(self):
+        config = CoreliteConfig()
+        with pytest.raises(ConfigurationError):
+            loop_budget(config, 0, 100.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            throttle_authority(config, -1.0)
+        with pytest.raises(ConfigurationError):
+            feedback_latency(config, -0.1)
+        with pytest.raises(ConfigurationError):
+            oscillation_band(config, 0.0)

@@ -1,0 +1,150 @@
+"""Unit tests for the topology container."""
+
+import pytest
+
+from repro.errors import RoutingError, TopologyError
+from repro.sim.engine import Simulator
+from repro.sim.node import Router
+from repro.sim.packet import Packet
+from repro.sim.queues import DropTailQueue
+from repro.sim.topology import Topology
+
+from tests.conftest import CollectorNode
+
+
+@pytest.fixture
+def topo(sim):
+    t = Topology(sim)
+    for name in ("A", "B", "C"):
+        t.add_node(Router(name))
+    return t
+
+
+def test_duplicate_node_rejected(topo):
+    with pytest.raises(TopologyError):
+        topo.add_node(Router("A"))
+
+
+def test_link_requires_known_endpoints(topo):
+    with pytest.raises(TopologyError):
+        topo.add_link("A", "Z", 500.0, 0.01)
+    with pytest.raises(TopologyError):
+        topo.add_link("Z", "A", 500.0, 0.01)
+
+
+def test_self_loop_rejected(topo):
+    with pytest.raises(TopologyError):
+        topo.add_link("A", "A", 500.0, 0.01)
+
+
+def test_duplicate_link_name_rejected(topo):
+    topo.add_link("A", "B", 500.0, 0.01)
+    with pytest.raises(TopologyError):
+        topo.add_link("A", "B", 500.0, 0.01)
+
+
+def test_duplex_creates_both_directions(topo):
+    fwd, bwd = topo.add_duplex_link("A", "B", 500.0, 0.01)
+    assert fwd.name == "A->B" and bwd.name == "B->A"
+    assert topo.links["A->B"].dst.name == "B"
+    assert topo.links["B->A"].dst.name == "A"
+
+
+def test_build_routes_installs_next_hops(topo):
+    topo.add_duplex_link("A", "B", 500.0, 0.01)
+    topo.add_duplex_link("B", "C", 500.0, 0.01)
+    topo.build_routes()
+    a = topo.nodes["A"]
+    assert a.route_for("C").name == "A->B"
+    b = topo.nodes["B"]
+    assert b.route_for("C").name == "B->C"
+    assert b.route_for("A").name == "B->A"
+
+
+def test_build_routes_with_destination_subset(topo):
+    topo.add_duplex_link("A", "B", 500.0, 0.01)
+    topo.add_duplex_link("B", "C", 500.0, 0.01)
+    topo.build_routes(destinations=["C"])
+    a = topo.nodes["A"]
+    assert a.route_for("C") is not None
+    assert a.route_for("B") is None
+
+
+def test_build_routes_unknown_destination(topo):
+    topo.add_duplex_link("A", "B", 500.0, 0.01)
+    with pytest.raises(TopologyError):
+        topo.build_routes(destinations=["Nope"])
+
+
+def test_path_delay_sums_propagation(topo):
+    topo.add_duplex_link("A", "B", 500.0, 0.04)
+    topo.add_duplex_link("B", "C", 500.0, 0.04)
+    assert topo.path_delay("A", "C") == pytest.approx(0.08)
+    assert topo.path_delay("C", "A") == pytest.approx(0.08)
+
+
+def test_path_nodes(topo):
+    topo.add_duplex_link("A", "B", 500.0, 0.04)
+    topo.add_duplex_link("B", "C", 500.0, 0.04)
+    assert topo.path_nodes("A", "C") == ["A", "B", "C"]
+
+
+def test_path_to_unreachable_raises(sim):
+    t = Topology(sim)
+    t.add_node(Router("A"))
+    t.add_node(Router("B"))
+    with pytest.raises(RoutingError):
+        t.path_delay("A", "B")
+
+
+def test_forward_without_route_raises(topo):
+    topo.add_duplex_link("A", "B", 500.0, 0.01)
+    a = topo.nodes["A"]
+    with pytest.raises(RoutingError):
+        a.forward(Packet.data(1, "A", "C", 0, 0.0))
+
+
+def test_forward_to_self_raises(sim):
+    t = Topology(sim)
+    t.add_node(Router("A"))
+    t.add_node(Router("B"))
+    t.add_duplex_link("A", "B", 500.0, 0.01)
+    t.build_routes()
+    a = t.nodes["A"]
+    with pytest.raises(RoutingError):
+        a.forward(Packet.data(1, "B", "A", 0, 0.0))
+
+
+def test_build_routes_raises_for_unreachable_router(topo):
+    # Node C is an isolated router: route computation must fail loudly
+    # rather than leave silent black holes.
+    topo.add_duplex_link("A", "B", 500.0, 0.01)
+    with pytest.raises(RoutingError):
+        topo.build_routes()
+
+
+def test_custom_queue_factory(topo):
+    link = topo.add_link("A", "B", 500.0, 0.01,
+                         queue_factory=lambda: DropTailQueue(7))
+    assert link.queue.capacity == 7
+
+
+def test_total_drops_counts_all_links(sim):
+    t = Topology(sim)
+    t.add_node(Router("A"))
+    t.add_node(CollectorNode("B", sim))
+    link = t.add_link("A", "B", 500.0, 0.01, queue_factory=lambda: DropTailQueue(1))
+    t.build_routes(destinations=["B"])  # the link is one-way
+    a = t.nodes["A"]
+    for i in range(5):
+        a.forward(Packet.data(1, "A", "B", i, 0.0))
+    sim.run()
+    assert t.total_drops() == 3  # 1 transmitting + 1 queued survive
+
+
+def test_end_to_end_delivery(line_topology, sim):
+    topo, a, b, c = line_topology
+    for i in range(3):
+        a.forward(Packet.data(1, "A", "C", i, 0.0))
+    sim.run()
+    assert [p.seq for p in c.packets] == [0, 1, 2]

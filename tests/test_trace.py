@@ -1,0 +1,111 @@
+"""Unit tests for the packet tracer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.node import Node
+from repro.sim.packet import Packet
+from repro.sim.queues import DropTailQueue
+from repro.sim.trace import PacketTracer, TraceEvent
+
+
+class Sink(Node):
+    def __init__(self):
+        super().__init__("B")
+
+    def receive(self, packet, link):
+        pass
+
+
+@pytest.fixture
+def rig():
+    sim = Simulator()
+    link = Link(sim, "A->B", "A", Sink(), 100.0, 0.01, DropTailQueue(3))
+    tracer = PacketTracer(capacity=100)
+    tracer.attach_to_link(link)
+    return sim, link, tracer
+
+
+def data(seq=0, flow=1):
+    return Packet.data(flow, "A", "B", seq=seq, now=0.0)
+
+
+def test_records_deliveries(rig):
+    sim, link, tracer = rig
+    link.send(data(0))
+    sim.run()
+    events = list(tracer.events(kind="deliver"))
+    assert len(events) == 1
+    assert events[0].where == "A->B"
+    assert events[0].packet_kind == "DATA"
+
+
+def test_records_drops(rig):
+    sim, link, tracer = rig
+    for i in range(10):
+        link.send(data(i))
+    sim.run()
+    assert tracer.count(kind="drop") == 6  # 1 transmitting + 3 queued survive
+    assert tracer.count(kind="deliver") == 4
+
+
+def test_flow_filter():
+    sim = Simulator()
+    link = Link(sim, "A->B", "A", Sink(), 100.0, 0.0, DropTailQueue(100))
+    tracer = PacketTracer(flow_filter=lambda fid: fid == 7)
+    tracer.attach_to_link(link)
+    link.send(data(0, flow=7))
+    link.send(data(0, flow=8))
+    sim.run()
+    assert tracer.count() == 1
+    assert next(tracer.events()).flow_id == 7
+
+
+def test_ring_buffer_bounds_memory(rig):
+    sim, link, tracer = rig
+    tracer2 = PacketTracer(capacity=5)
+    for i in range(20):
+        tracer2.record_send(float(i), "here", data(i))
+    assert len(tracer2) == 5
+    assert tracer2.recorded == 20
+    assert [e.seq for e in tracer2.events()] == [15, 16, 17, 18, 19]
+
+
+def test_disable_stops_recording(rig):
+    sim, link, tracer = rig
+    tracer.enabled = False
+    link.send(data(0))
+    sim.run()
+    assert len(tracer) == 0
+
+
+def test_filters_compose(rig):
+    sim, link, tracer = rig
+    link.send(data(0, flow=1))
+    link.send(data(0, flow=2))
+    sim.run()
+    assert tracer.count(kind="deliver", flow_id=2) == 1
+    assert tracer.count(kind="drop", flow_id=2) == 0
+
+
+def test_export_rows(rig):
+    sim, link, tracer = rig
+    link.send(data(3))
+    sim.run()
+    rows = tracer.to_rows()
+    assert rows and rows[0][1] == "deliver" and rows[0][5] == 3
+
+
+def test_clear(rig):
+    sim, link, tracer = rig
+    link.send(data(0))
+    sim.run()
+    tracer.clear()
+    assert len(tracer) == 0
+
+
+def test_invalid_capacity():
+    with pytest.raises(ConfigurationError):
+        PacketTracer(capacity=0)

@@ -1,0 +1,36 @@
+"""Unit tests for unit conversions."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import PACKET_SIZE_BYTES, mbps_to_pps, ms_to_s, pps_to_mbps, s_to_ms
+
+
+def test_paper_conversion_4mbps_is_500pps():
+    # The paper treats 4 Mbps as exactly 500 pkt/s for 1 KB packets.
+    assert mbps_to_pps(4.0) == pytest.approx(500.0)
+
+
+def test_custom_packet_size():
+    # Binary-kilobyte packets are slightly slower per link.
+    assert mbps_to_pps(4.0, packet_size_bytes=1024) == pytest.approx(488.28, abs=0.01)
+
+
+def test_roundtrip():
+    assert pps_to_mbps(mbps_to_pps(10.0)) == pytest.approx(10.0)
+
+
+def test_negative_rejected():
+    with pytest.raises(ConfigurationError):
+        mbps_to_pps(-1.0)
+    with pytest.raises(ConfigurationError):
+        pps_to_mbps(-1.0)
+
+
+def test_ms_conversions():
+    assert ms_to_s(40.0) == pytest.approx(0.04)
+    assert s_to_ms(0.04) == pytest.approx(40.0)
+
+
+def test_packet_size_constant():
+    assert PACKET_SIZE_BYTES == 1000

@@ -1,0 +1,43 @@
+"""Tests for the consolidated reproduction report."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.validation import CheckResult, ReproReport, build_report
+
+
+class TestReproReport:
+    def test_add_and_counts(self):
+        report = ReproReport()
+        report.add("X", "claim", "measured", True)
+        report.add("Y", "claim2", "measured2", False)
+        assert report.passed == 1
+        assert not report.all_passed
+        assert len(report.checks) == 2
+
+    def test_markdown_rendering(self):
+        report = ReproReport()
+        report.add("FIG1", "something holds", "it did", True)
+        report.add("FIG2", "something else", "it did not", False)
+        md = report.to_markdown()
+        assert md.startswith("# Corelite reproduction report")
+        assert "1/2 paper claims verified" in md
+        assert "| FIG1 | something holds | it did | yes |" in md
+        assert "**NO**" in md
+
+    def test_empty_report_passes_vacuously(self):
+        report = ReproReport()
+        assert report.all_passed
+        assert "0/0" in report.to_markdown()
+
+
+def test_build_report_validation():
+    with pytest.raises(ConfigurationError):
+        build_report(scale=0.0)
+    with pytest.raises(ConfigurationError):
+        build_report(duration=10.0)
+
+
+def test_checkresult_fields():
+    c = CheckResult("E", "claim", "meas", True)
+    assert (c.experiment, c.claim, c.measured, c.passed) == ("E", "claim", "meas", True)
