@@ -4,47 +4,88 @@ Single-seed benches could be flattered by luck.  This bench replays the
 §4.2 startup comparison under several seeds and asserts the *claims*
 (weighted fairness, Corelite's loss advantage, convergence ordering) hold
 in every replicate, with tight spread.
+
+The replicates run through :class:`repro.experiments.parallel.BatchRunner`
+(the scenario-dict rendering of ``figure5_6`` reproduces the harness-built
+network exactly — pinned by ``tests/test_parallel.py``), so setting
+``REPRO_BENCH_WORKERS=4`` fans the seeds over a process pool without
+changing a single measured number.
 """
 
+import math
 import statistics
 
 import pytest
 
-from benchmarks.conftest import once
-from repro.experiments.figures import figure5_6
-from repro.experiments.replication import replicate
+from benchmarks.conftest import bench_workers, once
+from repro.experiments.parallel import BatchRunner, ScenarioSpec
+from repro.experiments.replication import summarize_metrics
 from repro.experiments.report import format_table
 from repro.fairness.metrics import convergence_time, weighted_jain_index
 
 SEEDS = (0, 1, 2, 3, 4)
 DURATION = 60.0
+NUM_FLOWS = 10
 
 
-def _metrics(seed: int) -> dict:
-    cmp = figure5_6(duration=DURATION, seed=seed)
+def _startup_scenario(scheme: str) -> ScenarioSpec:
+    """The §4.2 workload (10 flows, weight ceil(i/2)) as a scenario dict."""
+    return ScenarioSpec(
+        name=f"repl-startup-{scheme}",
+        scenario={
+            "scheme": scheme,
+            "duration": DURATION,
+            "network": {"num_cores": 2},
+            "flows": [
+                {"id": i, "weight": float(math.ceil(i / 2))}
+                for i in range(1, NUM_FLOWS + 1)
+            ],
+        },
+    )
+
+
+def _scheme_metrics(name: str, result, expected: dict) -> dict:
     window = (0.75 * DURATION, DURATION)
-    out = {}
-    for name, result in cmp.schemes():
-        rates = result.mean_rates(window)
-        weights = result.weights()
-        ids = sorted(rates)
-        out[f"{name}_jain"] = weighted_jain_index(
+    rates = result.mean_rates(window)
+    weights = result.weights()
+    ids = sorted(rates)
+    out = {
+        f"{name}_jain": weighted_jain_index(
             [rates[f] for f in ids], [weights[f] for f in ids]
-        )
-        out[f"{name}_losses"] = result.total_losses()
-        settle = [
-            convergence_time(result.flows[f].rate_series, cmp.expected[f],
-                             tolerance=0.3, hold=10.0)
-            for f in result.flow_ids
-        ]
-        settled = [t for t in settle if t is not None]
-        out[f"{name}_convergence"] = statistics.mean(settled) if settled else 1e9
+        ),
+        f"{name}_losses": result.total_losses(),
+    }
+    settle = [
+        convergence_time(result.flows[f].rate_series, expected[f],
+                         tolerance=0.3, hold=10.0)
+        for f in result.flow_ids
+    ]
+    settled = [t for t in settle if t is not None]
+    out[f"{name}_convergence"] = statistics.mean(settled) if settled else 1e9
     return out
+
+
+def _replicate_batch() -> dict:
+    runner = BatchRunner(workers=bench_workers())
+    by_scheme = {
+        scheme: runner.run_scenario_seeds(_startup_scenario(scheme), SEEDS)
+        for scheme in ("corelite", "csfq")
+    }
+    per_metric: dict = {}
+    for corelite_item, csfq_item in zip(by_scheme["corelite"], by_scheme["csfq"]):
+        # Same expected-rate reference as figures.figure5_6.
+        expected = corelite_item.result.expected_rates(at_time=DURATION / 2)
+        metrics = {}
+        metrics.update(_scheme_metrics("corelite", corelite_item.result, expected))
+        metrics.update(_scheme_metrics("csfq", csfq_item.result, expected))
+        for key, value in metrics.items():
+            per_metric.setdefault(key, []).append(float(value))
+    return summarize_metrics(per_metric)
 
 
 @pytest.mark.benchmark(group="replication")
 def test_headline_results_hold_across_seeds(benchmark, write_report):
-    summaries = once(benchmark, lambda: replicate(_metrics, seeds=SEEDS))
+    summaries = once(benchmark, _replicate_batch)
 
     table = format_table(
         ["metric", "mean", "stdev", "lo", "hi"],

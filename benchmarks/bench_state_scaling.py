@@ -13,22 +13,29 @@ and records the *peak per-flow state at the bottleneck router*:
 
 (Corelite's marker-cache variant is also measured: its history is bounded
 by a config constant, independent of the flow count.)
+
+The 20 (flow count x scheme) measurement points are independent
+simulations, so ``REPRO_BENCH_WORKERS>1`` fans them over a process pool
+(:func:`repro.experiments.parallel.pool_map`); each point's peak-state
+number is identical either way.
 """
 
 import math
 
 import pytest
 
-from benchmarks.conftest import once
+from benchmarks.conftest import bench_workers, once
 from repro.aqm.fred import FredQueue
 from repro.aqm.wfq import WfqQueue
 from repro.core.config import CoreliteConfig, FeedbackScheme
 from repro.experiments.network import CoreliteNetwork, CsfqNetwork, FifoLossNetwork
+from repro.experiments.parallel import pool_map
 from repro.experiments.report import format_table
 from repro.experiments.scenarios import startup_flows
 
 FLOW_COUNTS = (4, 8, 16, 32)
 DURATION = 30.0
+SCHEMES = ("corelite-selective", "corelite-cache", "csfq", "wfq", "fred")
 
 
 def _weight(fid: int) -> float:
@@ -83,23 +90,31 @@ def _run_queue_based(n: int, factory_kind: str) -> int:
     return peak[0]
 
 
+def _run_point(point):
+    """One (flow count, scheme) measurement — module-level for spawn."""
+    n, kind = point
+    if kind == "corelite-selective":
+        return _run_corelite(n, FeedbackScheme.SELECTIVE)
+    if kind == "corelite-cache":
+        return _run_corelite(n, FeedbackScheme.MARKER_CACHE)
+    if kind == "csfq":
+        return _run_csfq(n)
+    return _run_queue_based(n, kind)
+
+
 @pytest.mark.benchmark(group="state")
 def test_core_state_scaling(benchmark, write_report):
     def sweep():
-        rows = {}
-        for n in FLOW_COUNTS:
-            rows[n] = {
-                "corelite-selective": _run_corelite(n, FeedbackScheme.SELECTIVE),
-                "corelite-cache": _run_corelite(n, FeedbackScheme.MARKER_CACHE),
-                "csfq": _run_csfq(n),
-                "wfq": _run_queue_based(n, "wfq"),
-                "fred": _run_queue_based(n, "fred"),
-            }
+        points = [(n, kind) for n in FLOW_COUNTS for kind in SCHEMES]
+        values = pool_map(_run_point, points, workers=bench_workers())
+        rows = {n: {} for n in FLOW_COUNTS}
+        for (n, kind), value in zip(points, values):
+            rows[n][kind] = value
         return rows
 
     rows = once(benchmark, sweep)
 
-    schemes = ["corelite-selective", "corelite-cache", "csfq", "wfq", "fred"]
+    schemes = list(SCHEMES)
     table = format_table(
         ["flows"] + schemes,
         [[n] + [rows[n][s] for s in schemes] for n in FLOW_COUNTS],

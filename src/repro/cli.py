@@ -8,6 +8,7 @@ figures or ablations from the terminal::
     corelite fig3_4 --scale 0.25 --json out.json --svg-dir figs/
     corelite ablation feedback
     corelite run my_scenario.json        # declarative DSL
+    corelite batch my_scenario.json --num-seeds 4 --workers 4
     corelite report                      # verify all paper claims
 
 Each figure command prints the paper-style measured-vs-expected table and
@@ -219,6 +220,30 @@ def build_parser() -> argparse.ArgumentParser:
     ab.add_argument("--json", type=str, default=None)
     ab.set_defaults(handler=_run_ablation)
 
+    batch = sub.add_parser(
+        "batch",
+        help="run a scenario under many seeds, optionally in parallel",
+        description="Fan one declarative scenario out across seeds over a "
+        "process pool, with an on-disk result cache keyed by the scenario "
+        "content; prints per-seed scalars and the cross-seed mean/CI table.",
+    )
+    batch.add_argument("scenario", type=str, help="path to a scenario JSON file")
+    batch.add_argument("--seeds", type=str, default=None,
+                       help="comma-separated explicit seeds (e.g. 0,1,2,3)")
+    batch.add_argument("--num-seeds", type=int, default=4,
+                       help="derive this many seeds when --seeds is not given")
+    batch.add_argument("--base-seed", type=int, default=0,
+                       help="root of the derived-seed sequence")
+    batch.add_argument("--workers", type=int, default=1,
+                       help="process-pool size (1 = run inline, serially)")
+    batch.add_argument("--cache-dir", type=str, default=".repro-cache",
+                       help="result cache directory (reruns of unchanged "
+                            "sweeps are near-instant)")
+    batch.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache entirely")
+    batch.add_argument("--json", type=str, default=None)
+    batch.set_defaults(handler=_run_batch)
+
     run = sub.add_parser(
         "run", help="run a declarative scenario from a JSON file"
     )
@@ -240,6 +265,87 @@ def build_parser() -> argparse.ArgumentParser:
     rp.set_defaults(handler=_run_report)
 
     return parser
+
+
+def _run_batch(args: argparse.Namespace) -> Dict:
+    import time
+
+    from repro.experiments.parallel import (
+        BatchRunner,
+        BatchTask,
+        ScenarioSpec,
+        batch_metrics,
+        batch_summary_table,
+        expand_tasks,
+        scalar_metrics,
+    )
+    from repro.experiments.report import format_table
+
+    spec = ScenarioSpec.from_file(args.scenario)
+    if args.seeds is not None:
+        try:
+            seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+        except ValueError:
+            raise SystemExit(
+                f"corelite batch: --seeds must be comma-separated integers, "
+                f"got {args.seeds!r}"
+            ) from None
+        tasks = [BatchTask(spec, seed) for seed in seeds]
+    else:
+        tasks = expand_tasks(spec, args.num_seeds, base_seed=args.base_seed)
+    runner = BatchRunner(
+        workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+    )
+    started = time.perf_counter()
+    results = runner.run(tasks)
+    wall = time.perf_counter() - started
+
+    rows = []
+    per_seed = []
+    for item in results:
+        result = item.result
+        window = (0.75 * result.duration, result.duration)
+        metrics = scalar_metrics(result, window)
+        rows.append(
+            [
+                item.task.seed,
+                "hit" if item.cached else "run",
+                metrics["weighted_jain"],
+                int(metrics["delivered"]),
+                int(metrics["losses"]),
+                int(metrics["drops"]),
+            ]
+        )
+        per_seed.append({"seed": item.task.seed, "cached": item.cached, **metrics})
+    hits = sum(1 for item in results if item.cached)
+    print(f"\n== batch {spec.name!r}: {len(results)} tasks, "
+          f"{args.workers} worker(s), {hits} cache hit(s), {wall:.2f} s ==")
+    print(format_table(
+        ["seed", "cache", "weighted jain", "delivered", "losses", "drops"],
+        rows,
+        float_format="{:.4f}",
+    ))
+    summaries = batch_metrics(results)
+    print("\nacross seeds:")
+    print(batch_summary_table(summaries))
+    return {
+        "scenario": args.scenario,
+        "workers": args.workers,
+        "wall_seconds": wall,
+        "cache_hits": hits,
+        "tasks": per_seed,
+        "summary": {
+            name: {
+                "mean": s.mean,
+                "stdev": s.stdev,
+                "lo": s.lo,
+                "hi": s.hi,
+                "values": list(s.values),
+            }
+            for name, s in summaries.items()
+        },
+    }
 
 
 def _run_scenario_file(args: argparse.Namespace) -> Dict:

@@ -13,6 +13,8 @@
   qthresh, the Fn constant ``k``, feedback scheme).
 * :mod:`repro.experiments.report` — ASCII tables and charts for the CLI
   and the examples.
+* :mod:`repro.experiments.parallel` — multi-seed batch execution over a
+  process pool with deterministic replay and an on-disk result cache.
 """
 
 from repro.experiments.network import (
@@ -21,6 +23,13 @@ from repro.experiments.network import (
     CsfqNetwork,
     FifoLossNetwork,
     FlowSpec,
+)
+from repro.experiments.parallel import (
+    BatchResult,
+    BatchRunner,
+    BatchTask,
+    ScenarioSpec,
+    expand_tasks,
 )
 from repro.experiments.runner import FlowRecord, RunResult
 
@@ -32,4 +41,9 @@ __all__ = [
     "FifoLossNetwork",
     "RunResult",
     "FlowRecord",
+    "ScenarioSpec",
+    "BatchTask",
+    "BatchResult",
+    "BatchRunner",
+    "expand_tasks",
 ]

@@ -17,7 +17,7 @@ from typing import Callable, Dict, List, Mapping, Sequence
 
 from repro.errors import ConfigurationError
 
-__all__ = ["MetricSummary", "replicate"]
+__all__ = ["MetricSummary", "replicate", "summarize_metrics"]
 
 #: Builds and runs one experiment for a seed, returning scalar metrics.
 RunFn = Callable[[int], Mapping[str, float]]
@@ -65,8 +65,16 @@ def replicate(run: RunFn, seeds: Sequence[int]) -> Dict[str, MetricSummary]:
             )
         for name, value in metrics.items():
             per_metric.setdefault(name, []).append(float(value))
+    return summarize_metrics(per_metric)
+
+
+def summarize_metrics(per_metric: Mapping[str, Sequence[float]]) -> Dict[str, MetricSummary]:
+    """Summarize metric name -> values-across-seeds into MetricSummary."""
     out = {}
     for name, values in per_metric.items():
+        values = [float(v) for v in values]
+        if not values:
+            raise ConfigurationError(f"metric {name!r} has no values")
         out[name] = MetricSummary(
             name=name,
             values=tuple(values),

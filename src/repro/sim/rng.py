@@ -13,7 +13,21 @@ import hashlib
 import random
 from typing import Dict
 
-__all__ = ["RngRegistry"]
+__all__ = ["derive_seed", "RngRegistry"]
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a child seed from ``(root_seed, name)`` with a stable hash.
+
+    This is the single seed-derivation rule of the whole codebase: the
+    :class:`RngRegistry` uses it per stream, and the batch executor
+    (:mod:`repro.experiments.parallel`) uses it per task, so a multi-seed
+    sweep assigns exactly the same seed to task *i* whether the sweep runs
+    serially, in 2 workers, or in 16.  The hash is SHA-256 (not Python's
+    ``hash``, which is salted per process) truncated to 64 bits.
+    """
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 class RngRegistry:
@@ -32,8 +46,7 @@ class RngRegistry:
         """
         rng = self._streams.get(name)
         if rng is None:
-            digest = hashlib.sha256(f"{self.seed}:{name}".encode("utf-8")).digest()
-            rng = random.Random(int.from_bytes(digest[:8], "big"))
+            rng = random.Random(derive_seed(self.seed, name))
             self._streams[name] = rng
         return rng
 

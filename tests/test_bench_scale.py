@@ -1,0 +1,52 @@
+"""Validation of the benchmark environment knobs (benchmarks/conftest.py).
+
+``REPRO_BENCH_SCALE`` and ``REPRO_BENCH_WORKERS`` are parsed before any
+simulation starts; a malformed value must fail fast with a message that
+names the variable, not crash deep inside a run.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale, bench_workers
+
+
+class TestBenchScale:
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() == 0.25
+        assert bench_scale(default=1.0) == 1.0
+
+    @pytest.mark.parametrize("raw,expected", [("1.0", 1.0), ("0.25", 0.25), ("2", 2.0)])
+    def test_valid_values(self, monkeypatch, raw, expected):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", raw)
+        assert bench_scale() == expected
+
+    @pytest.mark.parametrize("raw", ["fast", "", "1.0x", "0x10"])
+    def test_non_numeric_rejected_with_named_variable(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", raw)
+        with pytest.raises(pytest.UsageError, match="REPRO_BENCH_SCALE"):
+            bench_scale()
+
+    @pytest.mark.parametrize("raw", ["0", "-1", "-0.5", "nan", "inf", "-inf"])
+    def test_non_positive_or_non_finite_rejected(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", raw)
+        with pytest.raises(pytest.UsageError, match="REPRO_BENCH_SCALE"):
+            bench_scale()
+
+
+class TestBenchWorkers:
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_WORKERS", raising=False)
+        assert bench_workers() == 1
+        assert bench_workers(default=4) == 4
+
+    @pytest.mark.parametrize("raw,expected", [("1", 1), ("4", 4), ("16", 16)])
+    def test_valid_values(self, monkeypatch, raw, expected):
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", raw)
+        assert bench_workers() == expected
+
+    @pytest.mark.parametrize("raw", ["two", "", "1.5", "0", "-2"])
+    def test_invalid_rejected_with_named_variable(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_BENCH_WORKERS", raw)
+        with pytest.raises(pytest.UsageError, match="REPRO_BENCH_WORKERS"):
+            bench_workers()

@@ -159,6 +159,68 @@ def test_zero_delay_event_runs_now(sim):
     assert marks == [1.0]
 
 
+class TestCancelAfterFire:
+    def test_double_cancel_after_fire_is_noop(self, sim):
+        fired = []
+        handle = sim.schedule(1.0, fired.append, "x")
+        sim.run()
+        handle.cancel()
+        handle.cancel()  # idempotent, must not raise
+        assert handle.cancelled
+        assert fired == ["x"]
+
+    def test_cancel_fired_event_does_not_disturb_pending(self, sim):
+        fired = []
+        first = sim.schedule(1.0, fired.append, "first")
+        sim.schedule(2.0, fired.append, "second")
+        sim.run(until=1.5)
+        first.cancel()  # already fired; the pending event must survive
+        sim.run(until=3.0)
+        assert fired == ["first", "second"]
+
+    def test_cancel_from_inside_own_callback(self, sim):
+        fired = []
+        handle = sim.schedule(1.0, lambda: (fired.append("x"), handle.cancel()))
+        sim.run()
+        assert fired == ["x"]
+        assert sim.events_executed == 1
+
+
+class TestRunUntilBoundary:
+    def test_schedule_at_exactly_until_fires(self, sim):
+        fired = []
+        sim.schedule_at(2.0, fired.append, "at-boundary")
+        sim.schedule_at(2.0 + 1e-12, fired.append, "just-after")
+        sim.run(until=2.0)
+        assert fired == ["at-boundary"]
+        assert sim.now == 2.0
+
+    def test_boundary_event_not_replayed_on_resume(self, sim):
+        fired = []
+        sim.schedule_at(2.0, fired.append, "boundary")
+        sim.run(until=2.0)
+        sim.run(until=5.0)
+        assert fired == ["boundary"]
+
+    def test_event_scheduling_zero_delay_at_boundary_runs(self, sim):
+        fired = []
+
+        def at_boundary():
+            fired.append("first")
+            sim.schedule(0.0, fired.append, "chained")
+
+        sim.schedule_at(2.0, at_boundary)
+        sim.run(until=2.0)
+        # the chained event lands at exactly t == until, so it runs too
+        assert fired == ["first", "chained"]
+
+    def test_periodic_tick_exactly_at_until(self, sim):
+        ticks = []
+        sim.every(1.0, lambda: ticks.append(sim.now))
+        sim.run(until=3.0)
+        assert ticks == [1.0, 2.0, 3.0]
+
+
 class TestPeriodicTask:
     def test_fires_every_interval(self, sim):
         ticks = []
@@ -192,6 +254,28 @@ class TestPeriodicTask:
         task = sim.every(1.0, tick)
         sim.run(until=10.0)
         assert ticks == [1.0, 2.0]
+
+    def test_stop_from_within_first_callback(self, sim):
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            task.stop()
+
+        task = sim.every(1.0, tick)
+        sim.run(until=10.0)
+        assert ticks == [1.0]
+        assert task.stopped
+        assert sim.peek_time() is None  # no orphaned reschedule left behind
+
+    def test_stop_twice_is_idempotent(self, sim):
+        ticks = []
+        task = sim.every(1.0, lambda: ticks.append(sim.now))
+        sim.run(until=1.5)
+        task.stop()
+        task.stop()  # must not raise
+        sim.run(until=5.0)
+        assert ticks == [1.0]
 
     def test_non_positive_interval_raises(self, sim):
         with pytest.raises(SimulationError):

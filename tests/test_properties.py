@@ -16,7 +16,12 @@ from hypothesis import strategies as st
 from repro.aqm.wfq import WfqQueue
 from repro.core.config import CoreliteConfig
 from repro.core.selective_feedback import SelectiveFeedback
-from repro.fairness.maxmin import FlowDemand, weighted_maxmin_with_minimums
+from repro.experiments.network import CoreliteNetwork, FlowSpec
+from repro.fairness.maxmin import (
+    FlowDemand,
+    weighted_maxmin,
+    weighted_maxmin_with_minimums,
+)
 from repro.sim.engine import Simulator
 from repro.sim.link import Link
 from repro.sim.node import Node
@@ -217,3 +222,149 @@ def test_maxmin_with_minimums_honors_contracts(weights, capacity, seed):
     assert sum(alloc.values()) <= capacity * (1 + 1e-6)
     # work conserving: full capacity is handed out (all demands infinite)
     assert sum(alloc.values()) == pytest.approx(capacity, rel=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# Weighted max-min feasibility (reference allocator, arbitrary topologies)
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def _maxmin_instance(draw):
+    """A random multi-link network with random flow paths/weights/demands."""
+    n_links = draw(st.integers(1, 5))
+    capacities = {
+        f"L{i}": draw(st.floats(10.0, 1000.0)) for i in range(n_links)
+    }
+    n_flows = draw(st.integers(1, 8))
+    flows = []
+    for fid in range(n_flows):
+        # a contiguous segment of the link chain (possibly empty path)
+        start = draw(st.integers(0, n_links - 1))
+        stop = draw(st.integers(start, n_links))
+        links = tuple(f"L{i}" for i in range(start, stop))
+        demand = draw(
+            st.one_of(st.just(math.inf), st.floats(1.0, 500.0))
+        )
+        if not links and math.isinf(demand):
+            demand = draw(st.floats(1.0, 500.0))
+        weight = draw(st.floats(0.25, 8.0))
+        flows.append(FlowDemand(fid, weight, links, demand))
+    return capacities, flows
+
+
+@given(_maxmin_instance())
+@settings(max_examples=100, deadline=None)
+def test_maxmin_allocation_never_exceeds_any_link_capacity(instance):
+    """The reference allocator always produces a *feasible* allocation:
+    on every link, the sum of the rates of the flows crossing it stays
+    within the link's capacity, and no flow exceeds its demand."""
+    capacities, flows = instance
+    alloc = weighted_maxmin(capacities, flows)
+    assert set(alloc) == {flow.flow_id for flow in flows}
+    for flow in flows:
+        assert alloc[flow.flow_id] >= 0.0
+        assert alloc[flow.flow_id] <= flow.demand * (1 + 1e-9)
+    for link, cap in capacities.items():
+        load = sum(
+            alloc[flow.flow_id] for flow in flows if link in flow.links
+        )
+        assert load <= cap * (1 + 1e-9), (link, load, cap)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end packet conservation in a full Corelite network
+# ---------------------------------------------------------------------------
+
+
+class _FlowCountingQueue(DropTailQueue):
+    """Drop-tail queue that attributes every data-packet drop to its flow."""
+
+    def __init__(self, capacity: float):
+        super().__init__(capacity)
+        self.dropped_by_flow = {}
+
+    def push(self, packet, now):
+        admitted = super().push(packet, now)
+        if not admitted:
+            self.dropped_by_flow[packet.flow_id] = (
+                self.dropped_by_flow.get(packet.flow_id, 0) + 1
+            )
+        return admitted
+
+
+@st.composite
+def _small_cloud(draw):
+    """A random small Corelite cloud plus a random flow set."""
+    num_cores = draw(st.integers(2, 3))
+    capacity = draw(st.floats(60.0, 200.0))
+    # CoreliteConfig requires its congestion threshold (qthresh = 8) to sit
+    # below the queue capacity, so stay above it.
+    queue_cap = draw(st.integers(10, 25))
+    seed = draw(st.integers(0, 2**16))
+    n_flows = draw(st.integers(1, 4))
+    flows = []
+    for fid in range(1, n_flows + 1):
+        pair = draw(
+            st.tuples(
+                st.integers(1, num_cores), st.integers(1, num_cores)
+            ).filter(lambda p: p[0] != p[1])
+        )
+        flows.append(
+            FlowSpec(
+                flow_id=fid,
+                weight=draw(st.floats(0.5, 4.0)),
+                ingress_core=f"C{pair[0]}",
+                egress_core=f"C{pair[1]}",
+                schedule=((0.0, 4.0),),
+            )
+        )
+    return num_cores, capacity, queue_cap, seed, flows
+
+
+@given(_small_cloud())
+@settings(max_examples=15, deadline=None)
+def test_per_flow_packet_conservation(cloud):
+    """For any small topology / weight vector, every emitted data packet
+    is either delivered at the egress edge or dropped by exactly one
+    queue: ``delivered + dropped == injected``, per flow.
+
+    Flows stop at t=4 and the network then drains completely, so there
+    is no in-flight remainder to account for.  Queue drops are attributed
+    per flow by a recording drop-tail subclass; feedback markers are
+    size-0 control packets and never enter the data accounting.
+    """
+    num_cores, capacity, queue_cap, seed, flows = cloud
+    queues = []
+
+    def factory():
+        q = _FlowCountingQueue(capacity=float(queue_cap))
+        queues.append(q)
+        return q
+
+    net = CoreliteNetwork(
+        num_cores=num_cores,
+        core_capacity_pps=capacity,
+        access_capacity_pps=capacity,
+        queue_capacity=float(queue_cap),
+        seed=seed,
+        queue_factory=factory,
+    )
+    net.add_flows(flows)
+    net.run(until=8.0)  # flows stop at 4.0; 4 s of drain is ample
+
+    for spec in flows:
+        fid = spec.flow_id
+        emitted = net.edges[spec.ingress_edge]._ingress[fid].seq
+        delivered = net.edges[spec.egress_edge].delivered(fid)
+        dropped = sum(q.dropped_by_flow.get(fid, 0) for q in queues)
+        assert emitted == delivered + dropped, (
+            fid,
+            emitted,
+            delivered,
+            dropped,
+        )
+        assert emitted > 0  # the flow really ran
+
+    # no data packet is still buffered anywhere after the drain
+    assert all(q.occupancy == 0 for q in queues)
