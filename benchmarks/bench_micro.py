@@ -78,6 +78,67 @@ def test_rate_estimator_updates(benchmark):
     assert rate == pytest.approx(500.0, rel=0.05)
 
 
+def _build_cloud(spec, flows):
+    from repro.experiments.builder import CloudBuilder
+
+    builder = CloudBuilder(spec, scheme="corelite", seed=0)
+    builder.add_flows(flows)
+    return builder.build()
+
+
+@pytest.mark.benchmark(group="micro-harness")
+def test_harness_construction_chain(benchmark):
+    """Spec -> finalized cloud for the paper's 4-core chain, 20 flows."""
+    from repro.experiments.scenarios import WEIGHTS_41, topology1_flows
+    from repro.experiments.topospec import TopologySpec
+
+    flows = topology1_flows(WEIGHTS_41, {})
+    cloud = benchmark(lambda: _build_cloud(TopologySpec.chain(4), flows))
+    assert len(cloud.flows) == 20
+
+
+@pytest.mark.benchmark(group="micro-harness")
+def test_harness_construction_mesh(benchmark):
+    """Spec -> finalized cloud for the diamond-plus-chord mesh, 12 flows.
+
+    Compared with the chain bench this isolates the cost of the
+    non-chain graph: more core links, Dijkstra over a cyclic topology,
+    and the routability check per flow."""
+    from repro.experiments.scenarios import mesh_flows
+    from repro.experiments.topospec import TopologySpec
+
+    flows = mesh_flows()
+    cloud = benchmark(lambda: _build_cloud(TopologySpec.mesh(), flows))
+    assert len(cloud.flows) == 12
+
+
+@pytest.mark.benchmark(group="micro-harness")
+def test_harness_events_per_second_chain_vs_mesh(benchmark):
+    """Simulated events/second through a built cloud (5 s of traffic).
+
+    Runs the chain and the mesh back to back in one bench so the
+    reported number tracks the end-to-end cost of a spec-built cloud,
+    not just its construction."""
+    from repro.experiments.scenarios import mesh_flows, topology1_flows, WEIGHTS_41
+    from repro.experiments.topospec import TopologySpec
+
+    chain_flows = topology1_flows(WEIGHTS_41, {})
+
+    def run():
+        executed = 0
+        for spec, flows in (
+            (TopologySpec.chain(4), chain_flows),
+            (TopologySpec.mesh(), mesh_flows()),
+        ):
+            cloud = _build_cloud(spec, flows)
+            cloud.run(until=5.0)
+            executed += cloud.sim.events_executed
+        return executed
+
+    events = benchmark(run)
+    assert events > 10_000
+
+
 @pytest.mark.benchmark(group="micro")
 def test_maxmin_solver(benchmark):
     rng = random.Random(0)

@@ -333,7 +333,7 @@ class CoreliteEdge(Router):
                     return False  # nothing deposited yet
                 state.backlog -= 1
             packet = Packet.data(
-                att.flow_id, self.name, att.dst_edge, seq=state.seq, now=now
+                att.flow_id, self.name, att.dst_edge, seq=state.seq, now=now, sim=self.sim
             )
             packet.micro_id = micro_id
             state.seq += 1
@@ -353,7 +353,9 @@ class CoreliteEdge(Router):
             if state.rate_estimator is not None:
                 rate = min(rate, state.rate_estimator.rate)
             label = max(0.0, rate - att.min_rate) / att.weight
-            self.forward(Packet.marker(att.flow_id, self.name, att.dst_edge, label, now))
+            self.forward(
+                Packet.marker(att.flow_id, self.name, att.dst_edge, label, now, sim=self.sim)
+            )
         return True
 
     def _epoch(self) -> None:

@@ -174,6 +174,7 @@ class CoreliteCoreRouter(Router):
                 size=0.0,
                 label=label,
                 created_at=self.sim.now,
+                sim=self.sim,
             )
             feedback.origin_edge = origin_edge
             feedback.feedback_from = link_name

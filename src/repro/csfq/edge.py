@@ -206,7 +206,9 @@ class CsfqEdge(Router):
         now = self.sim.now
         rate = state.estimator.update(now, 1.0)
         label = rate / att.weight  # weighted CSFQ: labels are normalized
-        packet = Packet.data(att.flow_id, self.name, att.dst_edge, seq=state.seq, now=now)
+        packet = Packet.data(
+            att.flow_id, self.name, att.dst_edge, seq=state.seq, now=now, sim=self.sim
+        )
         packet.label = label
         state.seq += 1
         self.forward(packet)
@@ -281,6 +283,7 @@ class CsfqEdge(Router):
             size=0.0,
             label=float(gap),
             created_at=self.sim.now,
+            sim=self.sim,
         )
         self.loss_channel(notify)
 

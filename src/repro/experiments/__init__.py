@@ -1,8 +1,15 @@
 """Experiment harness: topologies, scenarios, runners and figure generators.
 
-* :mod:`repro.experiments.network` — high-level builders that assemble a
-  Corelite or CSFQ cloud (simulator + topology + edges + cores + control
-  plane) and run flow schedules.
+* :mod:`repro.experiments.topospec` — the declarative layer:
+  :class:`TopologySpec` / :class:`FlowPathSpec` describe an arbitrary
+  cloud as plain data (canned chains, parking lots, stars, meshes, or
+  custom link lists; JSON round-trippable).
+* :mod:`repro.experiments.builder` — the assembly layer:
+  :class:`CloudBuilder` wires a spec into a running cloud through a
+  per-scheme :class:`SchemeStrategy` (Corelite, CSFQ or FIFO).
+* :mod:`repro.experiments.network` — legacy front door: the historical
+  ``CoreliteNetwork(num_cores=4)``-style classes, now thin shims over
+  the spec/builder pipeline.
 * :mod:`repro.experiments.runner` — result containers: per-flow rate /
   throughput / cumulative-service series plus expected-rate computation.
 * :mod:`repro.experiments.scenarios` — the paper's §4 flow sets and
@@ -17,6 +24,14 @@
   process pool with deterministic replay and an on-disk result cache.
 """
 
+from repro.experiments.builder import (
+    Cloud,
+    CloudBuilder,
+    CoreliteStrategy,
+    CsfqStrategy,
+    FifoStrategy,
+    SchemeStrategy,
+)
 from repro.experiments.network import (
     BaseNetwork,
     CoreliteNetwork,
@@ -24,6 +39,7 @@ from repro.experiments.network import (
     FifoLossNetwork,
     FlowSpec,
 )
+from repro.experiments.topospec import FlowPathSpec, LinkSpec, TopologySpec
 from repro.experiments.parallel import (
     BatchResult,
     BatchRunner,
@@ -34,7 +50,16 @@ from repro.experiments.parallel import (
 from repro.experiments.runner import FlowRecord, RunResult
 
 __all__ = [
+    "LinkSpec",
+    "TopologySpec",
+    "FlowPathSpec",
     "FlowSpec",
+    "Cloud",
+    "CloudBuilder",
+    "SchemeStrategy",
+    "CoreliteStrategy",
+    "CsfqStrategy",
+    "FifoStrategy",
     "BaseNetwork",
     "CoreliteNetwork",
     "CsfqNetwork",

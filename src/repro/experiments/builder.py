@@ -1,0 +1,782 @@
+"""Scheme-agnostic cloud construction (layer 2 of the pipeline).
+
+:class:`CloudBuilder` turns a declarative
+:class:`~repro.experiments.topospec.TopologySpec` plus
+:class:`~repro.experiments.topospec.FlowPathSpec` entries into a runnable
+:class:`Cloud`: one simulator, the core graph with its queues and links,
+per-flow edge routers and access links, shortest-delay routing tables, the
+control plane, and the run-time monitors.  All of that wiring is identical
+for every scheme; what differs — which router/edge classes to build, how
+feedback or loss notifications travel, which links run admission — is
+concentrated in a small :class:`SchemeStrategy` object per scheme:
+
+* :class:`CoreliteStrategy` — Corelite cores + edges, feedback markers
+  over the control plane, micro-flow aggregation, TCP host attachment;
+* :class:`CsfqStrategy` — weighted-CSFQ cores + edges, egress-to-ingress
+  loss notifications;
+* :class:`FifoStrategy` — CSFQ sources over pure FIFO/AQM forwarders
+  (the §5 strawman: nothing is enabled on any link).
+
+The legacy harness classes in :mod:`repro.experiments.network`
+(``CoreliteNetwork`` and friends) are thin shims over this module: they
+translate the historical chain-of-cores keyword arguments into a
+``TopologySpec`` and bind the matching strategy, so a same-seed chain run
+through either entry point is event-for-event identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError, FlowError, RoutingError, TopologyError
+from repro.experiments.runner import FlowRecord, RunResult
+from repro.experiments.topospec import FlowPathSpec, LinkSpec, TopologySpec
+from repro.fairness.maxmin import FlowDemand, weighted_maxmin
+from repro.sim.control import ControlPlane
+from repro.sim.engine import Simulator
+from repro.sim.monitor import Series
+from repro.sim.packet import Packet
+from repro.sim.queues import DropTailQueue
+from repro.sim.rng import RngRegistry
+from repro.sim.topology import Topology
+from repro.units import ms_to_s
+
+__all__ = [
+    "SchemeStrategy",
+    "CoreliteStrategy",
+    "CsfqStrategy",
+    "FifoStrategy",
+    "SCHEME_STRATEGIES",
+    "Cloud",
+    "CloudBuilder",
+]
+
+
+class SchemeStrategy:
+    """Everything scheme-specific about building one cloud.
+
+    A strategy instance is bound to exactly one :class:`Cloud` (it may
+    hold per-cloud state such as the micro-flow muxes) and answers the
+    cloud's construction hooks.  The base class implements the parts that
+    are genuinely shared: taking a private copy of the scheme config and
+    clamping it to the cloud's access capacity after the cores exist,
+    exactly as the historical harnesses did.
+    """
+
+    scheme = "base"
+    #: The scheme's config dataclass; ``None`` for config-less schemes.
+    config_cls: Optional[type] = None
+
+    def __init__(self, config=None) -> None:
+        if config is not None and self.config_cls is not None:
+            if not isinstance(config, self.config_cls):
+                raise ConfigurationError(
+                    f"scheme {self.scheme!r} expects a "
+                    f"{self.config_cls.__name__}, got {type(config).__name__}"
+                )
+        self._config_arg = config
+        self.cloud: Optional["Cloud"] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def make_config(self):
+        """A private copy of the scheme config (set before any core is
+        built, so every router shares the exact same object)."""
+        if self.config_cls is None:
+            return None
+        base = self._config_arg if self._config_arg is not None else self.config_cls()
+        return dataclasses.replace(base)
+
+    def bind(self, cloud: "Cloud") -> None:
+        if self.cloud is not None:
+            raise ConfigurationError(
+                f"a {type(self).__name__} is bound to one cloud; "
+                "build a fresh strategy per cloud"
+            )
+        self.cloud = cloud
+
+    def clamp_config(self, cloud: "Cloud") -> None:
+        """In-place config clamp after topology construction.
+
+        Shape every flow to at most its access-link speed: the edge knows
+        its own port rate, and this keeps a momentarily-unopposed flow
+        from outrunning a link that generates no feedback of its own.
+        """
+        config = cloud.config
+        if config is None:
+            return
+        config.queue_capacity = cloud.queue_capacity
+        config.max_rate = min(config.max_rate, cloud.access_capacity_pps)
+        config.__post_init__()  # re-validate after the in-place clamp
+
+    # -- construction hooks ----------------------------------------------
+
+    def make_core(self, cloud: "Cloud", name: str):
+        raise NotImplementedError
+
+    def make_edge(self, cloud: "Cloud", name: str):
+        raise NotImplementedError
+
+    def attach_ingress(self, cloud: "Cloud", edge, spec: FlowPathSpec) -> None:
+        raise NotImplementedError
+
+    def enable_core_links(self, cloud: "Cloud") -> None:
+        raise NotImplementedError
+
+    def attach_aggregate(self, cloud: "Cloud", ingress, spec: FlowPathSpec):
+        raise ConfigurationError(
+            f"scheme {self.scheme!r} does not support micro-flow aggregation "
+            "(a Corelite edge feature)"
+        )
+
+    def attach_tcp_hosts(self, cloud: "Cloud", spec: FlowPathSpec) -> None:
+        raise ConfigurationError(
+            f"scheme {self.scheme!r} does not support TCP transport "
+            "(a Corelite edge feature)"
+        )
+
+
+class CoreliteStrategy(SchemeStrategy):
+    """Corelite cores and edges (paper §2-§3 mechanisms end to end)."""
+
+    scheme = "corelite"
+
+    @property
+    def config_cls(self):  # lazy: avoid import cycles at module import
+        from repro.core.config import CoreliteConfig
+
+        return CoreliteConfig
+
+    def make_core(self, cloud: "Cloud", name: str):
+        from repro.core.router import CoreliteCoreRouter
+
+        def send_feedback(packet: Packet, router_name: str = name) -> None:
+            edge = cloud.edges.get(packet.dst)
+            if edge is None:
+                raise FlowError(f"feedback for unknown edge {packet.dst!r}")
+            cloud.control.send(router_name, packet.dst, edge.receive_feedback, packet)
+
+        return CoreliteCoreRouter(name, cloud.sim, cloud.config, cloud.rng, send_feedback)
+
+    def make_edge(self, cloud: "Cloud", name: str):
+        from repro.core.edge import CoreliteEdge
+
+        offset = cloud.rng.stream(f"edge-epoch:{name}").uniform(
+            0.0, cloud.config.edge_epoch
+        )
+        return CoreliteEdge(name, cloud.sim, cloud.config, epoch_offset=offset)
+
+    def attach_ingress(self, cloud: "Cloud", edge, spec: FlowPathSpec) -> None:
+        from repro.core.edge import FlowAttachment
+
+        edge.attach_flow(
+            FlowAttachment(
+                flow_id=spec.flow_id,
+                weight=spec.weight,
+                dst_edge=spec.egress_edge,
+                min_rate=spec.min_rate,
+                backlogged=spec.backlogged,
+                external=spec.transport == "tcp",
+            )
+        )
+
+    def attach_tcp_hosts(self, cloud: "Cloud", spec: FlowPathSpec) -> None:
+        from repro.hosts.tcp import TcpReceiver, TcpSender
+
+        sender = TcpSender(
+            spec.sender_host, cloud.sim, spec.flow_id, dst_host=spec.receiver_host
+        )
+        receiver = TcpReceiver(
+            spec.receiver_host, cloud.sim, spec.flow_id, src_host=spec.sender_host
+        )
+        cloud.topology.add_node(sender)
+        cloud.topology.add_node(receiver)
+        # Host links are fast and short, with deep TX queues: a real host
+        # backpressures its application instead of dropping in its own
+        # NIC, so losses happen where the paper places them — at the edge
+        # shaper's policing buffer.
+        host_delay = ms_to_s(1.0)
+        host_capacity = 2.0 * cloud.access_capacity_pps
+
+        def host_queue() -> DropTailQueue:
+            return DropTailQueue(capacity=100_000)
+
+        cloud.topology.add_duplex_link(
+            spec.sender_host, spec.ingress_edge, host_capacity, host_delay, host_queue
+        )
+        cloud.topology.add_duplex_link(
+            spec.egress_edge, spec.receiver_host, host_capacity, host_delay, host_queue
+        )
+        cloud._extra_destinations += [spec.sender_host, spec.receiver_host]
+        cloud.tcp_hosts[spec.flow_id] = (sender, receiver)
+
+    def enable_core_links(self, cloud: "Cloud") -> None:
+        for link in cloud._core_output_links():
+            core = cloud.topology.nodes[link.src_name]
+            core.enable_on_link(link)
+
+    def attach_aggregate(self, cloud: "Cloud", ingress, spec: FlowPathSpec):
+        from repro.core.microflows import MicroFlowMux
+
+        mux = MicroFlowMux(tuple(mid for mid, _spec in spec.micro_flows))
+        ingress.attach_microflows(spec.flow_id, mux)
+        cloud._muxes[spec.flow_id] = mux
+        return mux
+
+
+class CsfqStrategy(SchemeStrategy):
+    """Weighted-CSFQ cores and edges (the paper's §4 comparison baseline)."""
+
+    scheme = "csfq"
+
+    @property
+    def config_cls(self):
+        from repro.csfq.config import CsfqConfig
+
+        return CsfqConfig
+
+    def make_core(self, cloud: "Cloud", name: str):
+        from repro.csfq.router import CsfqCoreRouter
+
+        return CsfqCoreRouter(name, cloud.sim, cloud.config, cloud.rng)
+
+    def make_edge(self, cloud: "Cloud", name: str):
+        from repro.csfq.edge import CsfqEdge
+
+        offset = cloud.rng.stream(f"edge-epoch:{name}").uniform(
+            0.0, cloud.config.edge_epoch
+        )
+        edge = CsfqEdge(name, cloud.sim, cloud.config, epoch_offset=offset)
+
+        def loss_channel(packet: Packet, src: str = name) -> None:
+            ingress = cloud.edges.get(packet.dst)
+            if ingress is None:
+                raise FlowError(f"loss notification for unknown edge {packet.dst!r}")
+            cloud.control.send(src, packet.dst, ingress.receive_loss_notify, packet)
+
+        edge.loss_channel = loss_channel
+        return edge
+
+    def attach_ingress(self, cloud: "Cloud", edge, spec: FlowPathSpec) -> None:
+        from repro.csfq.edge import CsfqFlowAttachment
+
+        if spec.min_rate > 0:
+            raise ConfigurationError(
+                f"flow {spec.flow_id}: min_rate={spec.min_rate:g} — minimum "
+                "rate contracts are a Corelite feature; CSFQ has no "
+                "mechanism to honor them"
+            )
+        edge.attach_flow(
+            CsfqFlowAttachment(
+                flow_id=spec.flow_id,
+                weight=spec.weight,
+                dst_edge=spec.egress_edge,
+                backlogged=spec.backlogged,
+            )
+        )
+
+    def enable_core_links(self, cloud: "Cloud") -> None:
+        for link in cloud._core_output_links():
+            core = cloud.topology.nodes[link.src_name]
+            core.enable_on_link(link)
+
+
+class FifoStrategy(CsfqStrategy):
+    """Plain FIFO (or any AQM queue) cores with loss-driven LIMD sources.
+
+    No CSFQ admission runs anywhere: the cores are pure forwarders over
+    whatever ``queue_factory`` provides (drop-tail by default, RED/DECbit
+    for the ABL-AQM ablation), and sources adapt to egress-detected losses
+    exactly as CSFQ sources do.  This is the §5 strawman: congestion
+    feedback without normalized-rate information cannot produce *weighted*
+    fairness — drops hit flows in proportion to their arrival share, so
+    LIMD equalizes raw rates instead of normalized ones.
+    """
+
+    scheme = "fifo"
+
+    def enable_core_links(self, cloud: "Cloud") -> None:
+        # Deliberately nothing: packets meet only the queue discipline.
+        return None
+
+
+#: scheme name -> strategy class, the registry CloudBuilder and the
+#: scenario DSL resolve against.
+SCHEME_STRATEGIES: Dict[str, type] = {
+    "corelite": CoreliteStrategy,
+    "csfq": CsfqStrategy,
+    "fifo": FifoStrategy,
+}
+
+
+class Cloud:
+    """One runnable cloud built from a :class:`TopologySpec`.
+
+    Owns the simulator, runtime topology, control plane and all per-flow
+    state; delegates every scheme-specific decision to its strategy.  The
+    underscore hooks (``_make_edge`` etc.) are kept as methods so the
+    historical harness surface keeps working — they forward to the
+    strategy.
+    """
+
+    scheme = "base"
+
+    def __init__(
+        self,
+        spec: TopologySpec,
+        strategy: SchemeStrategy,
+        *,
+        seed: int = 0,
+        queue_factory: Optional[Callable[[], DropTailQueue]] = None,
+        control_loss_prob: float = 0.0,
+    ) -> None:
+        """``queue_factory`` overrides the default drop-tail buffer on
+        every link (used by the AQM ablations to swap in RED or DECbit
+        queues) and takes precedence over per-link ``queue_capacity``
+        overrides in the spec.  ``control_loss_prob`` injects random loss
+        of control packets (feedback markers / loss notifications) for
+        robustness experiments."""
+        if not isinstance(spec, TopologySpec):
+            raise ConfigurationError(
+                f"Cloud needs a TopologySpec, got {type(spec).__name__}"
+            )
+        self.spec = spec
+        self.strategy = strategy
+        strategy.bind(self)
+        self.scheme = strategy.scheme
+        self.config = strategy.make_config()
+        self.sim = Simulator()
+        self.rng = RngRegistry(seed)
+        self.seed = seed
+        self.topology = Topology(self.sim)
+        self.control = ControlPlane(
+            self.sim,
+            self.topology,
+            loss_prob=control_loss_prob,
+            rng=self.rng.stream("control-loss") if control_loss_prob > 0 else None,
+        )
+        self.access_capacity_pps = spec.access_capacity_pps
+        self.prop_delay = spec.access_prop_delay
+        self.queue_capacity = spec.queue_capacity
+        #: Informational: the first core link's capacity (chains built by
+        #: the legacy harness overwrite this with their uniform capacity).
+        self.core_capacity_pps = spec.links[0].capacity_pps
+        self.core_names: List[str] = list(spec.cores)
+        self.edges: Dict[str, object] = {}
+        self.flows: Dict[int, FlowPathSpec] = {}
+        self._finalized = False
+        #: Non-edge routing destinations (end hosts of TCP flows).
+        self._extra_destinations: List[str] = []
+        #: flow_id -> (TcpSender, TcpReceiver) for transport="tcp" flows.
+        self.tcp_hosts: Dict[int, Tuple[object, object]] = {}
+        #: flow_id -> MicroFlowMux for aggregated flows.
+        self._muxes: Dict[int, object] = {}
+
+        def default_queue_factory() -> DropTailQueue:
+            return DropTailQueue(capacity=spec.queue_capacity)
+
+        self._queue_factory = queue_factory or default_queue_factory
+        self._explicit_queue_factory = queue_factory is not None
+
+        for name in self.core_names:
+            self.topology.add_node(self._make_core(name))
+        for link in spec.links:
+            self.topology.add_duplex_link(
+                link.a,
+                link.b,
+                link.capacity_pps,
+                link.prop_delay,
+                self._link_queue_factory(link),
+            )
+        strategy.clamp_config(self)
+
+    def _link_queue_factory(self, link: LinkSpec) -> Callable[[], DropTailQueue]:
+        if self._explicit_queue_factory or link.queue_capacity is None:
+            return self._queue_factory
+        return lambda: DropTailQueue(capacity=link.queue_capacity)
+
+    # -- scheme hooks (forwarded to the strategy) -------------------------
+
+    def _make_core(self, name: str):
+        return self.strategy.make_core(self, name)
+
+    def _make_edge(self, name: str):
+        return self.strategy.make_edge(self, name)
+
+    def _attach_ingress(self, edge, spec: FlowPathSpec) -> None:
+        self.strategy.attach_ingress(self, edge, spec)
+
+    def _enable_core_links(self) -> None:
+        self.strategy.enable_core_links(self)
+
+    def _attach_aggregate(self, ingress, spec: FlowPathSpec):
+        return self.strategy.attach_aggregate(self, ingress, spec)
+
+    def _attach_tcp_hosts(self, spec: FlowPathSpec) -> None:
+        self.strategy.attach_tcp_hosts(self, spec)
+
+    # -- construction ---------------------------------------------------
+
+    def add_flow(self, spec: FlowPathSpec) -> None:
+        """Create the flow's edges, access links and per-flow state."""
+        if self._finalized:
+            raise ConfigurationError("cannot add flows after finalize()/run()")
+        if spec.flow_id in self.flows:
+            raise FlowError(f"duplicate flow id {spec.flow_id}")
+        for field_name, core in (
+            ("ingress_core", spec.ingress_core),
+            ("egress_core", spec.egress_core),
+        ):
+            if core not in self.core_names:
+                raise TopologyError(
+                    f"flow {spec.flow_id}: {field_name}={core!r} is not a "
+                    f"core of topology {self.spec.name!r} "
+                    f"(cores: {sorted(self.core_names)})"
+                )
+        ingress = self._make_edge(spec.ingress_edge)
+        egress = self._make_edge(spec.egress_edge)
+        self.topology.add_node(ingress)
+        self.topology.add_node(egress)
+        self.edges[ingress.name] = ingress
+        self.edges[egress.name] = egress
+        self.topology.add_duplex_link(
+            spec.ingress_edge,
+            spec.ingress_core,
+            self.access_capacity_pps,
+            self.prop_delay,
+            self._queue_factory,
+        )
+        self.topology.add_duplex_link(
+            spec.egress_core,
+            spec.egress_edge,
+            self.access_capacity_pps,
+            self.prop_delay,
+            self._queue_factory,
+        )
+        self._attach_ingress(ingress, spec)
+        egress.expect_flow(spec.flow_id)
+        if spec.transport == "tcp":
+            self._attach_tcp_hosts(spec)
+        self.flows[spec.flow_id] = spec
+
+    def add_flows(self, specs: Iterable[FlowPathSpec]) -> None:
+        for spec in specs:
+            self.add_flow(spec)
+
+    def finalize(self) -> None:
+        """Compute routes, enable the scheme, and admit contracts."""
+        if self._finalized:
+            return
+        if not self.flows:
+            raise ConfigurationError("no flows added")
+        destinations = list(self.edges) + self._extra_destinations
+        try:
+            self.topology.build_routes(destinations=destinations)
+        except RoutingError as exc:
+            # Prefer an error naming the unroutable *flow*; if every flow
+            # routes (the unreachable pair crosses two islands no flow
+            # uses), report the disconnection itself.
+            self._check_routability()
+            raise TopologyError(
+                f"topology {self.spec.name!r} is disconnected: {exc}"
+            ) from exc
+        self._check_routability()
+        self._enable_core_links()
+        self._admit_contracts()
+        self._finalized = True
+
+    def _check_routability(self) -> None:
+        """Fail at finalize time, naming the flow, if any flow has no
+        path from its ingress edge to its egress edge."""
+        for fid, spec in self.flows.items():
+            try:
+                self.topology.path_links(spec.ingress_edge, spec.egress_edge)
+            except RoutingError as exc:
+                raise TopologyError(
+                    f"flow {fid}: no route from ingress_core "
+                    f"{spec.ingress_core!r} to egress_core "
+                    f"{spec.egress_core!r} in topology {self.spec.name!r} "
+                    f"({exc})"
+                ) from exc
+
+    def _admit_contracts(self) -> None:
+        """Run admission control over every contracted flow (Corelite)."""
+        contracted = [spec for spec in self.flows.values() if spec.min_rate > 0]
+        if not contracted:
+            return
+        from repro.core.admission import AdmissionController
+
+        self.admission = AdmissionController(self.link_capacities())
+        for spec in contracted:
+            path = self.flow_path_links(spec.flow_id)
+            if not self.admission.request(spec.flow_id, path, spec.min_rate):
+                raise ConfigurationError(
+                    f"flow {spec.flow_id}: contract of {spec.min_rate} pkt/s "
+                    f"rejected by admission control (insufficient headroom "
+                    f"along {path})"
+                )
+
+    def _core_output_links(self):
+        for link in self.topology.links.values():
+            if link.src_name in self.core_names:
+                yield link
+
+    # -- flow paths, capacities, reference allocation ---------------------
+
+    @staticmethod
+    def _flow_demand(spec: FlowPathSpec) -> float:
+        """Mean offered load capping the flow's expected allocation."""
+        return spec.demand()
+
+    def flow_path_links(self, flow_id: int) -> Tuple[str, ...]:
+        spec = self.flows[flow_id]
+        links = self.topology.path_links(spec.ingress_edge, spec.egress_edge)
+        return tuple(link.name for link in links)
+
+    def link_capacities(self) -> Dict[str, float]:
+        return {name: link.bandwidth_pps for name, link in self.topology.links.items()}
+
+    def reference_rates(self) -> Dict[int, float]:
+        """Weighted max-min reference allocation for every flow.
+
+        Finalizes the cloud (computing routes) if needed, then water-fills
+        the actual link capacities over every flow's actual path with
+        :func:`repro.fairness.maxmin.weighted_maxmin`.  Schedules are
+        ignored — this is the steady-state reference when all flows are
+        on; for instant-by-instant expectations over a run use
+        :meth:`repro.experiments.runner.RunResult.expected_rates`.
+        """
+        self.finalize()
+        demands = [
+            FlowDemand(
+                fid,
+                spec.weight,
+                self.flow_path_links(fid),
+                demand=self._flow_demand(spec),
+            )
+            for fid, spec in self.flows.items()
+        ]
+        if not demands:
+            return {}
+        return weighted_maxmin(self.link_capacities(), demands)
+
+    # -- scheme-specific accessors ----------------------------------------
+
+    def mux_for(self, flow_id: int):
+        """The aggregate's multiplexer (available after run() scheduling)."""
+        return self._muxes[flow_id]
+
+    def core_router(self, name: str):
+        node = self.topology.nodes[name]
+        if name not in self.core_names:
+            raise TopologyError(
+                f"{name!r} is not a core of topology {self.spec.name!r}"
+            )
+        return node
+
+    # -- running ----------------------------------------------------------
+
+    def run(
+        self,
+        until: float,
+        sample_interval: float = 1.0,
+        record_queues: bool = False,
+    ) -> RunResult:
+        """Finalize, schedule the flow on/off events, simulate, collect.
+
+        ``record_queues`` additionally samples every core-to-core link's
+        queue occupancy into the result (useful for studying the
+        congestion-control dynamics rather than just the rates).
+        """
+        if until <= 0:
+            raise ConfigurationError(f"run duration must be positive, got {until}")
+        if sample_interval <= 0:
+            raise ConfigurationError(
+                f"sample interval must be positive, got {sample_interval}"
+            )
+        self.finalize()
+
+        records: Dict[int, FlowRecord] = {}
+        for fid, spec in self.flows.items():
+            ingress = self.edges[spec.ingress_edge]
+            # (source model, deposit callable, rng stream) per generator:
+            # one for a plain sourced flow, one per micro-flow when
+            # aggregated.
+            generators = []
+            if spec.micro_flows:
+                mux = self._attach_aggregate(ingress, spec)
+                for mid, source_spec in spec.micro_flows:
+                    generators.append(
+                        (
+                            source_spec.build(),
+                            lambda n, m=mux, mid=mid: m.deposit(mid, n),
+                            self.rng.stream(f"source:{fid}:{mid}"),
+                        )
+                    )
+            elif spec.source is not None and not spec.source.is_backlogged:
+                generators.append(
+                    (
+                        spec.source.build(),
+                        lambda n, edge=ingress, flow=fid: edge.deposit(flow, n),
+                        self.rng.stream(f"source:{fid}"),
+                    )
+                )
+            tcp_sender = self.tcp_hosts.get(fid, (None, None))[0]
+            for start, stop in spec.schedule:
+                if start <= until:
+                    self.sim.schedule_at(start, ingress.start_flow, fid)
+                    for model, deposit, source_rng in generators:
+                        self.sim.schedule_at(
+                            start, model.start, self.sim, deposit, source_rng
+                        )
+                    if tcp_sender is not None:
+                        self.sim.schedule_at(start, tcp_sender.start)
+                if math.isfinite(stop) and stop <= until:
+                    self.sim.schedule_at(stop, ingress.stop_flow, fid)
+                    for model, _deposit, _rng in generators:
+                        self.sim.schedule_at(stop, model.stop)
+                    if tcp_sender is not None:
+                        self.sim.schedule_at(stop, tcp_sender.stop)
+            records[fid] = FlowRecord(
+                flow_id=fid,
+                weight=spec.weight,
+                schedule=spec.schedule,
+                path_links=self.flow_path_links(fid),
+                rate_series=Series(f"rate:{fid}"),
+                throughput_series=Series(f"tput:{fid}"),
+                cumulative_series=Series(f"cum:{fid}"),
+                demand=self._flow_demand(spec),
+            )
+
+        queue_series: Dict[str, Series] = {}
+        core_links = []
+        if record_queues:
+            for link in self.topology.links.values():
+                if link.src_name in self.core_names and link.dst.name in self.core_names:
+                    queue_series[link.name] = Series(f"queue:{link.name}")
+                    core_links.append(link)
+
+        def sample() -> None:
+            now = self.sim.now
+            for fid, spec in self.flows.items():
+                ingress = self.edges[spec.ingress_edge]
+                egress = self.edges[spec.egress_edge]
+                record = records[fid]
+                rate = ingress.allotted_rate(fid) if ingress.flow_active(fid) else 0.0
+                record.rate_series.append(now, rate)
+                record.throughput_series.append(now, egress.take_throughput(fid))
+                record.cumulative_series.append(now, float(egress.delivered(fid)))
+            for link in core_links:
+                queue_series[link.name].append(now, link.queue.occupancy)
+
+        sampler = self.sim.every(sample_interval, sample)
+        self.sim.run(until=until)
+        sampler.stop()
+
+        for fid, spec in self.flows.items():
+            egress = self.edges[spec.egress_edge]
+            records[fid].delivered = egress.delivered(fid)
+            records[fid].losses = egress.losses(fid)
+            records[fid].delay = egress.delay_stats(fid).summary()
+            if spec.micro_flows:
+                records[fid].micro_delivered = egress.delivered_by_micro(fid)
+
+        return RunResult(
+            scheme=self.scheme,
+            duration=until,
+            capacities=self.link_capacities(),
+            flows=records,
+            total_drops=self.topology.total_drops(),
+            seed=self.seed,
+            queue_series=queue_series if record_queues else None,
+        )
+
+
+class CloudBuilder:
+    """Fluent front door of the pipeline: spec in, finalized cloud out.
+
+    Example::
+
+        from repro.experiments.builder import CloudBuilder
+        from repro.experiments.topospec import TopologySpec, FlowPathSpec
+
+        cloud = (
+            CloudBuilder(TopologySpec.parking_lot(hops=3), scheme="corelite", seed=7)
+            .add_flow(FlowPathSpec(1, weight=2.0, ingress_core="C1", egress_core="C4"))
+            .add_flow(FlowPathSpec(2, ingress_core="C1", egress_core="C2"))
+            .build()
+        )
+        reference = cloud.reference_rates()
+        result = cloud.run(until=120.0)
+    """
+
+    def __init__(
+        self,
+        spec: TopologySpec,
+        scheme: str = "corelite",
+        *,
+        seed: int = 0,
+        config=None,
+        queue_factory: Optional[Callable[[], DropTailQueue]] = None,
+        control_loss_prob: float = 0.0,
+    ) -> None:
+        if scheme not in SCHEME_STRATEGIES:
+            raise ConfigurationError(
+                f"unknown scheme {scheme!r}; pick one of {sorted(SCHEME_STRATEGIES)}"
+            )
+        self.spec = spec
+        self.scheme = scheme
+        self.seed = seed
+        self.config = config
+        self.queue_factory = queue_factory
+        self.control_loss_prob = control_loss_prob
+        self._flows: List[FlowPathSpec] = []
+
+    def add_flow(self, spec: Union[FlowPathSpec, None] = None, **kwargs) -> "CloudBuilder":
+        """Queue a flow; accepts a :class:`FlowPathSpec` or its kwargs."""
+        if spec is None:
+            spec = FlowPathSpec(**kwargs)
+        elif kwargs:
+            raise ConfigurationError(
+                "pass either a FlowPathSpec or keyword fields, not both"
+            )
+        self._flows.append(spec)
+        return self
+
+    def add_flows(self, specs: Iterable[FlowPathSpec]) -> "CloudBuilder":
+        for spec in specs:
+            self.add_flow(spec)
+        return self
+
+    def build(self, finalize: bool = True) -> Cloud:
+        """Construct the cloud, attach every queued flow, and (by
+        default) finalize it — computing routes and running validation
+        and admission, so spec errors surface here rather than at run
+        time."""
+        strategy = SCHEME_STRATEGIES[self.scheme](self.config)
+        cloud = Cloud(
+            self.spec,
+            strategy,
+            seed=self.seed,
+            queue_factory=self.queue_factory,
+            control_loss_prob=self.control_loss_prob,
+        )
+        cloud.add_flows(self._flows)
+        if finalize:
+            cloud.finalize()
+        return cloud
+
+    def run(
+        self,
+        until: float,
+        sample_interval: float = 1.0,
+        record_queues: bool = False,
+    ) -> RunResult:
+        """Build and run in one step."""
+        return self.build(finalize=False).run(
+            until=until,
+            sample_interval=sample_interval,
+            record_queues=record_queues,
+        )

@@ -1,49 +1,51 @@
-"""High-level network builders.
+"""High-level network harnesses (legacy front door, now spec-backed).
 
-A network harness assembles one complete cloud — simulator, chain-of-cores
+A network harness assembles one complete cloud — simulator, core
 topology, per-flow edge routers, control plane — for either scheme:
 
 * :class:`CoreliteNetwork` — Corelite edges and core routers;
-* :class:`CsfqNetwork` — weighted-CSFQ edges and core routers.
+* :class:`CsfqNetwork` — weighted-CSFQ edges and core routers;
+* :class:`FifoLossNetwork` — FIFO/AQM forwarders with loss-driven LIMD.
 
-Both follow the paper's Figure 2 shape: cores ``C1..Cn`` in a chain, every
-flow entering through its own ingress edge (attached to some core) and
-leaving through its own egress edge.  The three core-to-core links of the
-4-core chain are the paper's congested links; access links have the same
-capacity and, carrying a single flow each, never bottleneck.
+These classes are thin shims over the declarative pipeline: they
+translate the historical keyword arguments (``num_cores=4`` chains,
+``core_links`` graphs) into a
+:class:`~repro.experiments.topospec.TopologySpec` and bind the matching
+:class:`~repro.experiments.builder.SchemeStrategy`, then inherit all
+machinery from :class:`~repro.experiments.builder.Cloud`.  A same-seed
+chain run through either entry point is event-for-event identical — the
+shims exist so that a decade of call sites (figures, ablations, tests,
+examples) keeps working verbatim.
 
-The harness is also where the cross-cutting wiring lives: feedback markers
-travel from core routers to ingress edges over the control plane, and CSFQ
-loss notifications travel from egress to ingress the same way.
+New code describing a topology should prefer
+:class:`~repro.experiments.builder.CloudBuilder` with an explicit spec::
+
+    CloudBuilder(TopologySpec.mesh(), scheme="csfq", seed=3)
+
+The cross-cutting wiring (feedback markers from cores to ingress edges,
+CSFQ loss notifications from egress to ingress, both over the control
+plane) lives in the strategies in :mod:`repro.experiments.builder`.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import math
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
-from repro.core.config import CoreliteConfig
-from repro.core.edge import CoreliteEdge, FlowAttachment
-from repro.core.router import CoreliteCoreRouter
-from repro.csfq.config import CsfqConfig
-from repro.csfq.edge import CsfqEdge, CsfqFlowAttachment
-from repro.csfq.router import CsfqCoreRouter
-from repro.errors import ConfigurationError, FlowError, TopologyError
-from repro.experiments.runner import FlowRecord, RunResult
-from repro.sim.control import ControlPlane
-from repro.sim.engine import Simulator
-from repro.sim.monitor import Series
-from repro.sim.packet import Packet
+from repro.errors import ConfigurationError
+from repro.experiments.builder import (
+    Cloud,
+    CoreliteStrategy,
+    CsfqStrategy,
+    FifoStrategy,
+    SchemeStrategy,
+)
+from repro.experiments.topospec import FlowPathSpec, FlowSpec, TopologySpec
 from repro.sim.queues import DropTailQueue
-from repro.sim.rng import RngRegistry
-from repro.sim.sources import SourceSpec
-from repro.sim.topology import Topology
 from repro.units import ms_to_s
 
 __all__ = [
     "FlowSpec",
+    "FlowPathSpec",
     "BaseNetwork",
     "CoreliteNetwork",
     "CsfqNetwork",
@@ -51,113 +53,13 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
-class FlowSpec:
-    """One edge-to-edge flow in a harness-built network.
+class BaseNetwork(Cloud):
+    """Shared harness machinery; subclasses bind a scheme strategy.
 
-    Attributes
-    ----------
-    flow_id:
-        Unique integer id (the paper numbers flows 1..20).
-    weight:
-        Rate weight ``w(f)``.
-    ingress_core / egress_core:
-        Core router names the flow's edges attach to.  Defaults suit a
-        2-core (single-bottleneck) network.
-    schedule:
-        On/off periods as ``(start, stop)`` pairs; default "always on".
-    min_rate:
-        Optional minimum rate contract (Corelite only).
-    source:
-        Traffic model (:mod:`repro.sim.sources`); ``None`` means the
-        paper's always-backlogged source.  Poisson / ON-OFF sources feed
-        the edge shaper's backlog, so a flow can be demand-limited.
-    micro_flows:
-        Optional aggregation (Corelite only): ``(micro_id, SourceSpec)``
-        pairs.  The network treats the aggregate as one flow; the ingress
-        edge divides its allowed rate among the micro-flows round-robin
-        (see :mod:`repro.core.microflows`).  Mutually exclusive with
-        ``source``.
-    transport:
-        ``"shaped"`` (default): the edge generates the paced traffic, as
-        in the paper's §4.  ``"tcp"`` (Corelite only): a Reno TCP
-        sender/receiver host pair is attached through the edges; the
-        ingress edge shapes and polices the TCP stream to ``bg(f)``
-        (the §4.4/§6 edge-host interaction).
+    Accepts the historical chain/graph keyword arguments and the new
+    ``topology_spec``; exactly one topology source applies, with
+    ``topology_spec`` taking precedence when given.
     """
-
-    flow_id: int
-    weight: float = 1.0
-    ingress_core: str = "C1"
-    egress_core: str = "C2"
-    schedule: Tuple[Tuple[float, float], ...] = ((0.0, math.inf),)
-    min_rate: float = 0.0
-    source: Optional[SourceSpec] = None
-    micro_flows: Tuple[Tuple[int, SourceSpec], ...] = ()
-    transport: str = "shaped"
-
-    def __post_init__(self) -> None:
-        if self.weight <= 0:
-            raise FlowError(f"flow {self.flow_id}: weight must be > 0")
-        if self.ingress_core == self.egress_core:
-            raise FlowError(
-                f"flow {self.flow_id}: ingress and egress core must differ"
-            )
-        for start, stop in self.schedule:
-            if start < 0 or stop <= start:
-                raise FlowError(
-                    f"flow {self.flow_id}: bad schedule period ({start}, {stop})"
-                )
-        if self.transport not in ("shaped", "tcp"):
-            raise FlowError(
-                f"flow {self.flow_id}: unknown transport {self.transport!r}"
-            )
-        if self.transport == "tcp" and (self.source is not None or self.micro_flows):
-            raise FlowError(
-                f"flow {self.flow_id}: a TCP flow's traffic comes from its "
-                "sender host, not a source model or micro-flows"
-            )
-        if self.micro_flows:
-            if self.source is not None:
-                raise FlowError(
-                    f"flow {self.flow_id}: micro_flows and source are exclusive"
-                )
-            ids = [mid for mid, _spec in self.micro_flows]
-            if len(set(ids)) != len(ids):
-                raise FlowError(f"flow {self.flow_id}: duplicate micro-flow ids")
-            for mid, spec in self.micro_flows:
-                if spec.is_backlogged:
-                    raise FlowError(
-                        f"flow {self.flow_id}: micro-flow {mid} needs a "
-                        "finite-rate source"
-                    )
-
-    @property
-    def backlogged(self) -> bool:
-        """Whether the flow uses the paper's always-backlogged source."""
-        if self.micro_flows or self.transport == "tcp":
-            return False
-        return self.source is None or self.source.is_backlogged
-
-    @property
-    def ingress_edge(self) -> str:
-        return f"Ein{self.flow_id}"
-
-    @property
-    def egress_edge(self) -> str:
-        return f"Eout{self.flow_id}"
-
-    @property
-    def sender_host(self) -> str:
-        return f"Hs{self.flow_id}"
-
-    @property
-    def receiver_host(self) -> str:
-        return f"Hr{self.flow_id}"
-
-
-class BaseNetwork:
-    """Shared harness machinery; subclasses plug in scheme-specific parts."""
 
     scheme = "base"
 
@@ -174,6 +76,8 @@ class BaseNetwork:
         core_links: Optional[
             Sequence[Tuple[str, str, float, float]]
         ] = None,
+        topology_spec: Optional[TopologySpec] = None,
+        config=None,
     ) -> None:
         """``queue_factory`` overrides the default 40-packet drop-tail
         buffer on every link (used by the AQM ablations to swap in RED or
@@ -183,292 +87,46 @@ class BaseNetwork:
         chain with an arbitrary core graph given as
         ``(core_a, core_b, capacity_pps, prop_delay)`` duplex edges —
         core names are taken from the edges and ``num_cores`` /
-        ``core_capacity_pps`` are ignored."""
-        if core_links is None and num_cores < 2:
-            raise ConfigurationError(f"need at least 2 cores, got {num_cores}")
-        if core_links is not None and not core_links:
-            raise ConfigurationError("core_links must contain at least one edge")
-        self.sim = Simulator()
-        self.rng = RngRegistry(seed)
-        self.seed = seed
-        self.topology = Topology(self.sim)
-        self.control = ControlPlane(
-            self.sim,
-            self.topology,
-            loss_prob=control_loss_prob,
-            rng=self.rng.stream("control-loss") if control_loss_prob > 0 else None,
+        ``core_capacity_pps`` are ignored.  ``topology_spec`` supplies a
+        full declarative :class:`TopologySpec` instead; it overrides the
+        shape arguments (but not ``seed`` / ``queue_factory`` /
+        ``control_loss_prob``)."""
+        if topology_spec is None:
+            if core_links is None and num_cores < 2:
+                raise ConfigurationError(f"need at least 2 cores, got {num_cores}")
+            if core_links is not None and not core_links:
+                raise ConfigurationError("core_links must contain at least one edge")
+            if core_links is not None:
+                topology_spec = TopologySpec.from_core_links(
+                    core_links,
+                    access_capacity_pps=access_capacity_pps,
+                    access_prop_delay=prop_delay,
+                    queue_capacity=queue_capacity,
+                )
+            else:
+                topology_spec = TopologySpec.chain(
+                    num_cores,
+                    core_capacity_pps,
+                    prop_delay,
+                    access_capacity_pps=access_capacity_pps,
+                    access_prop_delay=prop_delay,
+                    queue_capacity=queue_capacity,
+                )
+        super().__init__(
+            topology_spec,
+            self._make_strategy(config),
+            seed=seed,
+            queue_factory=queue_factory,
+            control_loss_prob=control_loss_prob,
         )
+        # Historical attribute: the uniform chain capacity kwarg, kept
+        # even when a graph/spec ignores it.
         self.core_capacity_pps = core_capacity_pps
-        self.access_capacity_pps = access_capacity_pps
-        self.prop_delay = prop_delay
-        self.queue_capacity = queue_capacity
-        self.core_names: List[str] = [f"C{i}" for i in range(1, num_cores + 1)]
-        self.edges: Dict[str, object] = {}
-        self.flows: Dict[int, FlowSpec] = {}
-        self._finalized = False
-        #: Non-edge routing destinations (end hosts of TCP flows).
-        self._extra_destinations: List[str] = []
-        #: flow_id -> (TcpSender, TcpReceiver) for transport="tcp" flows.
-        self.tcp_hosts: Dict[int, Tuple[object, object]] = {}
 
-        def default_queue_factory() -> DropTailQueue:
-            return DropTailQueue(capacity=queue_capacity)
-
-        self._queue_factory = queue_factory or default_queue_factory
-        if core_links is not None:
-            names: List[str] = []
-            for a, b, _cap, _delay in core_links:
-                for name in (a, b):
-                    if name not in names:
-                        names.append(name)
-            self.core_names = names
-            for name in self.core_names:
-                self.topology.add_node(self._make_core(name))
-            for a, b, capacity, delay in core_links:
-                self.topology.add_duplex_link(a, b, capacity, delay, self._queue_factory)
-        else:
-            for name in self.core_names:
-                self.topology.add_node(self._make_core(name))
-            for left, right in zip(self.core_names, self.core_names[1:]):
-                self.topology.add_duplex_link(
-                    left, right, core_capacity_pps, prop_delay, self._queue_factory
-                )
-
-    # -- scheme hooks (implemented by subclasses) -------------------------
-
-    def _make_core(self, name: str):
-        raise NotImplementedError
-
-    def _make_edge(self, name: str):
-        raise NotImplementedError
-
-    def _attach_ingress(self, edge, spec: FlowSpec) -> None:
-        raise NotImplementedError
-
-    def _enable_core_links(self) -> None:
-        raise NotImplementedError
-
-    def _attach_aggregate(self, ingress, spec: FlowSpec):
-        raise ConfigurationError(
-            f"{type(self).__name__} does not support micro-flow aggregation "
-            "(a Corelite edge feature)"
-        )
-
-    def _attach_tcp_hosts(self, spec: FlowSpec) -> None:
-        raise ConfigurationError(
-            f"{type(self).__name__} does not support TCP transport "
-            "(a Corelite edge feature)"
-        )
-
-    # -- construction ---------------------------------------------------
-
-    def add_flow(self, spec: FlowSpec) -> None:
-        """Create the flow's edges, access links and per-flow state."""
-        if self._finalized:
-            raise ConfigurationError("cannot add flows after finalize()/run()")
-        if spec.flow_id in self.flows:
-            raise FlowError(f"duplicate flow id {spec.flow_id}")
-        for core in (spec.ingress_core, spec.egress_core):
-            if core not in self.topology.nodes:
-                raise TopologyError(f"flow {spec.flow_id}: unknown core {core!r}")
-        ingress = self._make_edge(spec.ingress_edge)
-        egress = self._make_edge(spec.egress_edge)
-        self.topology.add_node(ingress)
-        self.topology.add_node(egress)
-        self.edges[ingress.name] = ingress
-        self.edges[egress.name] = egress
-        self.topology.add_duplex_link(
-            spec.ingress_edge,
-            spec.ingress_core,
-            self.access_capacity_pps,
-            self.prop_delay,
-            self._queue_factory,
-        )
-        self.topology.add_duplex_link(
-            spec.egress_core,
-            spec.egress_edge,
-            self.access_capacity_pps,
-            self.prop_delay,
-            self._queue_factory,
-        )
-        self._attach_ingress(ingress, spec)
-        egress.expect_flow(spec.flow_id)
-        if spec.transport == "tcp":
-            self._attach_tcp_hosts(spec)
-        self.flows[spec.flow_id] = spec
-
-    def add_flows(self, specs) -> None:
-        for spec in specs:
-            self.add_flow(spec)
-
-    def finalize(self) -> None:
-        """Compute routes, enable the scheme, and admit contracts."""
-        if self._finalized:
-            return
-        if not self.flows:
-            raise ConfigurationError("no flows added")
-        destinations = list(self.edges) + self._extra_destinations
-        self.topology.build_routes(destinations=destinations)
-        self._enable_core_links()
-        self._admit_contracts()
-        self._finalized = True
-
-    def _admit_contracts(self) -> None:
-        """Run admission control over every contracted flow (Corelite)."""
-        contracted = [spec for spec in self.flows.values() if spec.min_rate > 0]
-        if not contracted:
-            return
-        from repro.core.admission import AdmissionController
-
-        self.admission = AdmissionController(self.link_capacities())
-        for spec in contracted:
-            path = self.flow_path_links(spec.flow_id)
-            if not self.admission.request(spec.flow_id, path, spec.min_rate):
-                raise ConfigurationError(
-                    f"flow {spec.flow_id}: contract of {spec.min_rate} pkt/s "
-                    f"rejected by admission control (insufficient headroom "
-                    f"along {path})"
-                )
-
-    def _core_output_links(self):
-        for link in self.topology.links.values():
-            if link.src_name in self.core_names:
-                yield link
-
-    # -- flow paths and capacities ---------------------------------------------
-
-    @staticmethod
-    def _flow_demand(spec: FlowSpec) -> float:
-        """Mean offered load capping the flow's expected allocation."""
-        if spec.micro_flows:
-            return sum(s.offered_rate() for _mid, s in spec.micro_flows)
-        if spec.source is not None:
-            return spec.source.offered_rate()
-        return math.inf
-
-    def flow_path_links(self, flow_id: int) -> Tuple[str, ...]:
-        spec = self.flows[flow_id]
-        links = self.topology.path_links(spec.ingress_edge, spec.egress_edge)
-        return tuple(link.name for link in links)
-
-    def link_capacities(self) -> Dict[str, float]:
-        return {name: link.bandwidth_pps for name, link in self.topology.links.items()}
-
-    # -- running ----------------------------------------------------------
-
-    def run(
-        self,
-        until: float,
-        sample_interval: float = 1.0,
-        record_queues: bool = False,
-    ) -> RunResult:
-        """Finalize, schedule the flow on/off events, simulate, collect.
-
-        ``record_queues`` additionally samples every core-to-core link's
-        queue occupancy into the result (useful for studying the
-        congestion-control dynamics rather than just the rates).
-        """
-        if until <= 0:
-            raise ConfigurationError(f"run duration must be positive, got {until}")
-        if sample_interval <= 0:
-            raise ConfigurationError(
-                f"sample interval must be positive, got {sample_interval}"
-            )
-        self.finalize()
-
-        records: Dict[int, FlowRecord] = {}
-        for fid, spec in self.flows.items():
-            ingress = self.edges[spec.ingress_edge]
-            # (source model, deposit callable, rng stream) per generator:
-            # one for a plain sourced flow, one per micro-flow when
-            # aggregated.
-            generators = []
-            if spec.micro_flows:
-                mux = self._attach_aggregate(ingress, spec)
-                for mid, source_spec in spec.micro_flows:
-                    generators.append(
-                        (
-                            source_spec.build(),
-                            lambda n, m=mux, mid=mid: m.deposit(mid, n),
-                            self.rng.stream(f"source:{fid}:{mid}"),
-                        )
-                    )
-            elif spec.source is not None and not spec.source.is_backlogged:
-                generators.append(
-                    (
-                        spec.source.build(),
-                        lambda n, edge=ingress, flow=fid: edge.deposit(flow, n),
-                        self.rng.stream(f"source:{fid}"),
-                    )
-                )
-            tcp_sender = self.tcp_hosts.get(fid, (None, None))[0]
-            for start, stop in spec.schedule:
-                if start <= until:
-                    self.sim.schedule_at(start, ingress.start_flow, fid)
-                    for model, deposit, source_rng in generators:
-                        self.sim.schedule_at(
-                            start, model.start, self.sim, deposit, source_rng
-                        )
-                    if tcp_sender is not None:
-                        self.sim.schedule_at(start, tcp_sender.start)
-                if math.isfinite(stop) and stop <= until:
-                    self.sim.schedule_at(stop, ingress.stop_flow, fid)
-                    for model, _deposit, _rng in generators:
-                        self.sim.schedule_at(stop, model.stop)
-                    if tcp_sender is not None:
-                        self.sim.schedule_at(stop, tcp_sender.stop)
-            records[fid] = FlowRecord(
-                flow_id=fid,
-                weight=spec.weight,
-                schedule=spec.schedule,
-                path_links=self.flow_path_links(fid),
-                rate_series=Series(f"rate:{fid}"),
-                throughput_series=Series(f"tput:{fid}"),
-                cumulative_series=Series(f"cum:{fid}"),
-                demand=self._flow_demand(spec),
-            )
-
-        queue_series: Dict[str, Series] = {}
-        core_links = []
-        if record_queues:
-            for link in self.topology.links.values():
-                if link.src_name in self.core_names and link.dst.name in self.core_names:
-                    queue_series[link.name] = Series(f"queue:{link.name}")
-                    core_links.append(link)
-
-        def sample() -> None:
-            now = self.sim.now
-            for fid, spec in self.flows.items():
-                ingress = self.edges[spec.ingress_edge]
-                egress = self.edges[spec.egress_edge]
-                record = records[fid]
-                rate = ingress.allotted_rate(fid) if ingress.flow_active(fid) else 0.0
-                record.rate_series.append(now, rate)
-                record.throughput_series.append(now, egress.take_throughput(fid))
-                record.cumulative_series.append(now, float(egress.delivered(fid)))
-            for link in core_links:
-                queue_series[link.name].append(now, link.queue.occupancy)
-
-        sampler = self.sim.every(sample_interval, sample)
-        self.sim.run(until=until)
-        sampler.stop()
-
-        for fid, spec in self.flows.items():
-            egress = self.edges[spec.egress_edge]
-            records[fid].delivered = egress.delivered(fid)
-            records[fid].losses = egress.losses(fid)
-            records[fid].delay = egress.delay_stats(fid).summary()
-            if spec.micro_flows:
-                records[fid].micro_delivered = egress.delivered_by_micro(fid)
-
-        return RunResult(
-            scheme=self.scheme,
-            duration=until,
-            capacities=self.link_capacities(),
-            flows=records,
-            total_drops=self.topology.total_drops(),
-            seed=self.seed,
-            queue_series=queue_series if record_queues else None,
+    def _make_strategy(self, config) -> SchemeStrategy:
+        raise NotImplementedError(
+            "BaseNetwork is abstract; use CoreliteNetwork, CsfqNetwork or "
+            "FifoLossNetwork (or CloudBuilder with a scheme name)"
         )
 
     # -- convenience constructors -------------------------------------------
@@ -493,103 +151,19 @@ class BaseNetwork:
         name their ingress/egress cores in their :class:`FlowSpec`."""
         return cls(core_links=core_links, **kwargs)
 
+    @classmethod
+    def from_topology(cls, spec: TopologySpec, **kwargs) -> "BaseNetwork":
+        """Build from a declarative :class:`TopologySpec` directly."""
+        return cls(topology_spec=spec, **kwargs)
+
 
 class CoreliteNetwork(BaseNetwork):
     """A Corelite cloud (paper §2-§3 mechanisms end to end)."""
 
     scheme = "corelite"
 
-    def __init__(self, *args, config: Optional[CoreliteConfig] = None, **kwargs) -> None:
-        # Private copy set *before* super().__init__ so the cores built
-        # there share this exact object; clamped in place right after.
-        self.config = dataclasses.replace(config if config is not None else CoreliteConfig())
-        super().__init__(*args, **kwargs)
-        self.config.queue_capacity = self.queue_capacity
-        # Shape every flow to at most its access-link speed: the edge knows
-        # its own port rate, and this keeps a momentarily-unopposed flow
-        # from outrunning a link that generates no feedback of its own.
-        self.config.max_rate = min(self.config.max_rate, self.access_capacity_pps)
-        self.config.__post_init__()  # re-validate after the in-place clamp
-        #: flow_id -> MicroFlowMux for aggregated flows.
-        self._muxes: Dict[int, object] = {}
-
-    def _make_core(self, name: str) -> CoreliteCoreRouter:
-        def send_feedback(packet: Packet, router_name: str = name) -> None:
-            edge = self.edges.get(packet.dst)
-            if edge is None:
-                raise FlowError(f"feedback for unknown edge {packet.dst!r}")
-            self.control.send(router_name, packet.dst, edge.receive_feedback, packet)
-
-        return CoreliteCoreRouter(name, self.sim, self.config, self.rng, send_feedback)
-
-    def _make_edge(self, name: str) -> CoreliteEdge:
-        offset = self.rng.stream(f"edge-epoch:{name}").uniform(0.0, self.config.edge_epoch)
-        return CoreliteEdge(name, self.sim, self.config, epoch_offset=offset)
-
-    def _attach_ingress(self, edge: CoreliteEdge, spec: FlowSpec) -> None:
-        edge.attach_flow(
-            FlowAttachment(
-                flow_id=spec.flow_id,
-                weight=spec.weight,
-                dst_edge=spec.egress_edge,
-                min_rate=spec.min_rate,
-                backlogged=spec.backlogged,
-                external=spec.transport == "tcp",
-            )
-        )
-
-    def _attach_tcp_hosts(self, spec: FlowSpec) -> None:
-        from repro.hosts.tcp import TcpReceiver, TcpSender
-
-        sender = TcpSender(
-            spec.sender_host, self.sim, spec.flow_id, dst_host=spec.receiver_host
-        )
-        receiver = TcpReceiver(
-            spec.receiver_host, self.sim, spec.flow_id, src_host=spec.sender_host
-        )
-        self.topology.add_node(sender)
-        self.topology.add_node(receiver)
-        # Host links are fast and short, with deep TX queues: a real host
-        # backpressures its application instead of dropping in its own
-        # NIC, so losses happen where the paper places them — at the edge
-        # shaper's policing buffer.
-        host_delay = ms_to_s(1.0)
-        host_capacity = 2.0 * self.access_capacity_pps
-
-        def host_queue() -> DropTailQueue:
-            return DropTailQueue(capacity=100_000)
-
-        self.topology.add_duplex_link(
-            spec.sender_host, spec.ingress_edge, host_capacity, host_delay, host_queue
-        )
-        self.topology.add_duplex_link(
-            spec.egress_edge, spec.receiver_host, host_capacity, host_delay, host_queue
-        )
-        self._extra_destinations += [spec.sender_host, spec.receiver_host]
-        self.tcp_hosts[spec.flow_id] = (sender, receiver)
-
-    def _enable_core_links(self) -> None:
-        for link in self._core_output_links():
-            core = self.topology.nodes[link.src_name]
-            assert isinstance(core, CoreliteCoreRouter)
-            core.enable_on_link(link)
-
-    def _attach_aggregate(self, ingress: CoreliteEdge, spec: FlowSpec) -> "MicroFlowMux":
-        from repro.core.microflows import MicroFlowMux
-
-        mux = MicroFlowMux(tuple(mid for mid, _spec in spec.micro_flows))
-        ingress.attach_microflows(spec.flow_id, mux)
-        self._muxes[spec.flow_id] = mux
-        return mux
-
-    def mux_for(self, flow_id: int) -> "MicroFlowMux":
-        """The aggregate's multiplexer (available after run() scheduling)."""
-        return self._muxes[flow_id]
-
-    def core_router(self, name: str) -> CoreliteCoreRouter:
-        node = self.topology.nodes[name]
-        assert isinstance(node, CoreliteCoreRouter)
-        return node
+    def _make_strategy(self, config) -> CoreliteStrategy:
+        return CoreliteStrategy(config)
 
 
 class CsfqNetwork(BaseNetwork):
@@ -597,54 +171,8 @@ class CsfqNetwork(BaseNetwork):
 
     scheme = "csfq"
 
-    def __init__(self, *args, config: Optional[CsfqConfig] = None, **kwargs) -> None:
-        self.config = dataclasses.replace(config if config is not None else CsfqConfig())
-        super().__init__(*args, **kwargs)
-        self.config.queue_capacity = self.queue_capacity
-        self.config.max_rate = min(self.config.max_rate, self.access_capacity_pps)
-        self.config.__post_init__()  # re-validate after the in-place clamp
-
-    def _make_core(self, name: str) -> CsfqCoreRouter:
-        return CsfqCoreRouter(name, self.sim, self.config, self.rng)
-
-    def _make_edge(self, name: str) -> CsfqEdge:
-        offset = self.rng.stream(f"edge-epoch:{name}").uniform(0.0, self.config.edge_epoch)
-        edge = CsfqEdge(name, self.sim, self.config, epoch_offset=offset)
-
-        def loss_channel(packet: Packet, src: str = name) -> None:
-            ingress = self.edges.get(packet.dst)
-            if ingress is None:
-                raise FlowError(f"loss notification for unknown edge {packet.dst!r}")
-            self.control.send(src, packet.dst, ingress.receive_loss_notify, packet)
-
-        edge.loss_channel = loss_channel
-        return edge
-
-    def _attach_ingress(self, edge: CsfqEdge, spec: FlowSpec) -> None:
-        if spec.min_rate > 0:
-            raise ConfigurationError(
-                "minimum rate contracts are a Corelite feature; CSFQ has no "
-                "mechanism to honor them"
-            )
-        edge.attach_flow(
-            CsfqFlowAttachment(
-                flow_id=spec.flow_id,
-                weight=spec.weight,
-                dst_edge=spec.egress_edge,
-                backlogged=spec.backlogged,
-            )
-        )
-
-    def _enable_core_links(self) -> None:
-        for link in self._core_output_links():
-            core = self.topology.nodes[link.src_name]
-            assert isinstance(core, CsfqCoreRouter)
-            core.enable_on_link(link)
-
-    def core_router(self, name: str) -> CsfqCoreRouter:
-        node = self.topology.nodes[name]
-        assert isinstance(node, CsfqCoreRouter)
-        return node
+    def _make_strategy(self, config) -> CsfqStrategy:
+        return CsfqStrategy(config)
 
 
 class FifoLossNetwork(CsfqNetwork):
@@ -661,6 +189,5 @@ class FifoLossNetwork(CsfqNetwork):
 
     scheme = "fifo"
 
-    def _enable_core_links(self) -> None:
-        # Deliberately nothing: packets meet only the queue discipline.
-        return None
+    def _make_strategy(self, config) -> FifoStrategy:
+        return FifoStrategy(config)

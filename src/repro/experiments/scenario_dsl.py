@@ -18,7 +18,25 @@ Downstream users shouldn't need to write harness code to try a topology:
       ]
     }
 
-Unknown keys are rejected (silent typos in experiment definitions are the
+Arbitrary clouds use the declarative ``"topology"`` key instead of the
+``"network"`` shape knobs — a canned shape or a custom link list
+(:meth:`repro.experiments.topospec.TopologySpec.from_dict`)::
+
+    {
+      "scheme": "csfq",
+      "topology": {"kind": "parking_lot", "hops": 3},
+      "flows": [
+        {"id": 1, "weight": 2, "ingress": "C1", "egress": "C4"},
+        {"id": 2, "ingress": "C1", "egress": "C2"}
+      ]
+    }
+
+    "topology": {"kind": "custom",
+                 "links": [["A", "B", 500, 0.02], ["B", "C", 250, 0.02]]}
+
+``"topology"`` and the ``"network"`` shape keys are mutually exclusive
+(``control_loss_prob`` is still allowed under ``"network"``).  Unknown
+keys are rejected (silent typos in experiment definitions are the
 classic way to benchmark the wrong thing).
 """
 
@@ -39,6 +57,7 @@ from repro.experiments.network import (
     FlowSpec,
 )
 from repro.experiments.runner import RunResult
+from repro.experiments.topospec import TopologySpec
 from repro.sim.sources import SourceSpec, onoff_source, poisson_source, transfer_source
 
 __all__ = ["build_network", "run_scenario", "load_scenario_file"]
@@ -50,10 +69,13 @@ _SCHEMES = {
 }
 
 _TOP_KEYS = {"scheme", "seed", "duration", "sample_interval", "record_queues",
-             "network", "config", "flows"}
+             "network", "topology", "config", "flows", "description"}
 _NETWORK_KEYS = {"num_cores", "core_capacity_pps", "access_capacity_pps",
                  "prop_delay", "queue_capacity", "control_loss_prob",
                  "core_links"}
+#: Network keys that describe the graph shape, and therefore clash with
+#: an explicit "topology" section.
+_NETWORK_SHAPE_KEYS = _NETWORK_KEYS - {"control_loss_prob"}
 _FLOW_KEYS = {"id", "weight", "ingress", "egress", "schedule", "min_rate",
               "source", "transport", "micro_flows"}
 _SOURCE_KEYS = {"kind", "mean_rate", "peak_rate", "mean_on", "mean_off",
@@ -123,6 +145,14 @@ def build_network(scenario: Mapping) -> BaseNetwork:
         )
     network_raw = dict(scenario.get("network", {}))
     _reject_unknown(network_raw, _NETWORK_KEYS, "network")
+    if "topology" in scenario:
+        clashing = sorted(set(network_raw) & _NETWORK_SHAPE_KEYS)
+        if clashing:
+            raise ConfigurationError(
+                f"scenario: 'topology' and network shape keys {clashing} are "
+                "mutually exclusive — describe the graph in one place"
+            )
+        network_raw["topology_spec"] = TopologySpec.from_dict(scenario["topology"])
     if "core_links" in network_raw:
         network_raw["core_links"] = [
             (str(a), str(b), float(cap), float(delay))

@@ -39,6 +39,8 @@ __all__ = [
     "staggered_schedule",
     "churn_schedule",
     "fig3_schedule",
+    "parking_lot_flows",
+    "mesh_flows",
 ]
 
 #: flow id -> (ingress core, egress core) on Topology 1.
@@ -121,6 +123,86 @@ def startup_flows(num_flows: int = 10) -> List[FlowSpec]:
             egress_core="C2",
         )
         for i in range(1, num_flows + 1)
+    ]
+
+
+def parking_lot_flows(
+    hops: int = 3,
+    long_weight: float = 2.0,
+    cross_weight: float = 1.0,
+    cross_per_hop: int = 2,
+) -> List[FlowSpec]:
+    """The classic parking-lot workload on a ``TopologySpec.parking_lot``.
+
+    Flow 1 is the long flow: weight ``long_weight`` across all ``hops``
+    links ``C1 -> C(hops+1)``.  Each hop additionally carries
+    ``cross_per_hop`` single-hop cross flows of weight ``cross_weight``.
+    With the defaults on 500 pkt/s links every link carries 4 weight
+    units, so the weighted max-min reference is 125 pkt/s per unit: the
+    long flow gets 250 everywhere while each cross flow gets 125 — the
+    allocation per-link *unweighted* fairness (and FIFO) cannot produce.
+    """
+    if hops < 1:
+        raise ConfigurationError(f"hops must be >= 1, got {hops}")
+    if cross_per_hop < 1:
+        raise ConfigurationError(f"cross_per_hop must be >= 1, got {cross_per_hop}")
+    specs = [
+        FlowSpec(
+            flow_id=1,
+            weight=long_weight,
+            ingress_core="C1",
+            egress_core=f"C{hops + 1}",
+        )
+    ]
+    fid = 2
+    for hop in range(1, hops + 1):
+        for _ in range(cross_per_hop):
+            specs.append(
+                FlowSpec(
+                    flow_id=fid,
+                    weight=cross_weight,
+                    ingress_core=f"C{hop}",
+                    egress_core=f"C{hop + 1}",
+                )
+            )
+            fid += 1
+    return specs
+
+
+def mesh_flows() -> List[FlowSpec]:
+    """Twelve flows over ``TopologySpec.mesh`` congesting every link.
+
+    Each link is exactly fully subscribed at its own uniform fair level,
+    but the levels *differ across links*: with the default capacities the
+    links A-B, B-D, A-C and the chord B-C all sit at 125 pkt/s per weight
+    unit while C-D sits at 250.  Equal-weight flows on different
+    bottlenecks therefore deserve rates 2x apart — a per-link loss signal
+    that equalizes raw or globally-normalized rates (FIFO) gets this
+    wrong, while per-link weighted feedback must hold each flow at its
+    own bottleneck's level.  Flows 1-2 cross two congested links (both at
+    the same level, like the paper's Topology 1 long flows), every link
+    carries at least three flows (so LIMD saw-teeth decorrelate instead
+    of phase-locking), and no flow is left claiming a residual — every
+    flow sits exactly at its bottleneck's per-unit level, which keeps the
+    weighted max-min reference tight enough to assert ~10% tolerances.
+    """
+    routes: List[Tuple[float, str, str]] = [
+        (2.0, "A", "D"),  # 1: A-B + B-D, both congested at 125/unit
+        (2.0, "A", "D"),  # 2: ditto
+        (1.0, "A", "B"),  # 3: fills A-B to exactly 625
+        (1.0, "B", "D"),  # 4: fills B-D to exactly 625
+        (2.0, "A", "C"),  # 5: A-C at 125/unit (weight 4 over 500)
+        (1.0, "A", "C"),  # 6
+        (1.0, "A", "C"),  # 7
+        (1.0, "C", "D"),  # 8: C-D at 250/unit (weight 2 over 500)
+        (1.0, "C", "D"),  # 9
+        (1.0, "B", "C"),  # 10: the chord at 125/unit (weight 3 over 375)
+        (1.0, "B", "C"),  # 11
+        (1.0, "B", "C"),  # 12
+    ]
+    return [
+        FlowSpec(flow_id=fid, weight=weight, ingress_core=a, egress_core=b)
+        for fid, (weight, a, b) in enumerate(routes, start=1)
     ]
 
 

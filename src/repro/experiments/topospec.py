@@ -1,0 +1,548 @@
+"""Declarative topology and flow-path specifications.
+
+This is layer 1 of the harness pipeline (spec -> builder -> runnable
+cloud): plain frozen dataclasses that describe an arbitrary cloud — the
+core graph with per-link capacities/delays, the access-link defaults, and
+every edge-to-edge flow — without touching a simulator.  A spec is cheap
+to validate, JSON-expressible (see :meth:`TopologySpec.from_dict` and the
+``"topology"`` key of the scenario DSL), hashable for the batch cache,
+and completely scheme-agnostic: the same :class:`TopologySpec` builds a
+Corelite, CSFQ or FIFO cloud through
+:class:`repro.experiments.builder.CloudBuilder`.
+
+Canned shapes cover the workloads the fairness literature argues about:
+
+* :meth:`TopologySpec.chain` — the paper's Figure 2 chain of cores
+  (Topology 1 is ``chain(4)``);
+* :meth:`TopologySpec.parking_lot` — a chain consumed by one long flow
+  against per-hop cross traffic (the classic weighted max-min stressor);
+* :meth:`TopologySpec.star` — a hub-and-spoke cloud;
+* :meth:`TopologySpec.mesh` — a multi-bottleneck diamond-plus-chord mesh
+  with heterogeneous link capacities.
+
+Validation errors always name the offending field and value, so a typo in
+a scenario file fails at spec time with a readable message instead of
+deep inside the wiring.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import FlowError, TopologyError
+from repro.sim.sources import SourceSpec
+from repro.units import ms_to_s
+
+__all__ = [
+    "LinkSpec",
+    "TopologySpec",
+    "FlowPathSpec",
+    "FlowSpec",
+    "CANNED_TOPOLOGIES",
+]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One duplex core-to-core link of a topology spec.
+
+    Attributes
+    ----------
+    a / b:
+        Names of the two cores the link joins.  The builder creates a pair
+        of symmetric unidirectional links ``a->b`` and ``b->a``.
+    capacity_pps:
+        Bandwidth in packets/second (> 0).
+    prop_delay:
+        One-way propagation delay in seconds (>= 0).
+    queue_capacity:
+        Optional per-link buffer override in packets; ``None`` uses the
+        topology-wide default.
+    """
+
+    a: str
+    b: str
+    capacity_pps: float
+    prop_delay: float
+    queue_capacity: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for end, name in (("a", self.a), ("b", self.b)):
+            if not name or not isinstance(name, str):
+                raise TopologyError(
+                    f"link {self.a!r}-{self.b!r}: end {end!r} must be a "
+                    f"non-empty core name, got {name!r}"
+                )
+        if self.a == self.b:
+            raise TopologyError(
+                f"link {self.a!r}-{self.b!r}: self-loops are not allowed"
+            )
+        if not (self.capacity_pps > 0) or math.isinf(self.capacity_pps):
+            raise TopologyError(
+                f"link {self.a!r}-{self.b!r}: capacity_pps must be a "
+                f"positive finite value, got {self.capacity_pps!r}"
+            )
+        if self.prop_delay < 0 or math.isinf(self.prop_delay):
+            raise TopologyError(
+                f"link {self.a!r}-{self.b!r}: prop_delay must be a "
+                f"non-negative finite value, got {self.prop_delay!r}"
+            )
+        if self.queue_capacity is not None and not (self.queue_capacity > 0):
+            raise TopologyError(
+                f"link {self.a!r}-{self.b!r}: queue_capacity must be > 0, "
+                f"got {self.queue_capacity!r}"
+            )
+
+    def as_row(self) -> List:
+        """JSON-friendly ``[a, b, capacity_pps, prop_delay]`` rendering."""
+        row: List = [self.a, self.b, self.capacity_pps, self.prop_delay]
+        if self.queue_capacity is not None:
+            row.append(self.queue_capacity)
+        return row
+
+
+_TOPOLOGY_KEYS = {
+    "kind", "name", "num_cores", "hops", "spokes", "capacity_pps",
+    "prop_delay", "cores", "links", "access_capacity_pps",
+    "access_prop_delay", "queue_capacity",
+}
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """A declarative, scheme-agnostic description of one cloud's graph.
+
+    Attributes
+    ----------
+    links:
+        Duplex core-to-core :class:`LinkSpec` entries; at least one.
+    cores:
+        Core names.  When empty, derived from the link endpoints in
+        first-appearance order.  When given, every link endpoint must be
+        listed (extra, link-less cores are allowed but unroutable).
+    name:
+        Human-readable topology name, quoted by validation errors.
+    access_capacity_pps / access_prop_delay:
+        Capacity and delay of every per-flow edge-to-core access link.
+    queue_capacity:
+        Default buffer size (packets) for every link without an override.
+    """
+
+    links: Tuple[LinkSpec, ...]
+    cores: Tuple[str, ...] = ()
+    name: str = "custom"
+    access_capacity_pps: float = 500.0
+    access_prop_delay: float = ms_to_s(40.0)
+    queue_capacity: float = 40.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.links, tuple):
+            object.__setattr__(self, "links", tuple(self.links))
+        if not isinstance(self.cores, tuple):
+            object.__setattr__(self, "cores", tuple(self.cores))
+        if not self.links:
+            raise TopologyError(
+                f"topology {self.name!r}: links must contain at least one "
+                "core-to-core link"
+            )
+        for link in self.links:
+            if not isinstance(link, LinkSpec):
+                raise TopologyError(
+                    f"topology {self.name!r}: links must be LinkSpec "
+                    f"instances, got {type(link).__name__}"
+                )
+        derived: List[str] = []
+        for link in self.links:
+            for end in (link.a, link.b):
+                if end not in derived:
+                    derived.append(end)
+        if not self.cores:
+            object.__setattr__(self, "cores", tuple(derived))
+        else:
+            seen = set()
+            for core in self.cores:
+                if core in seen:
+                    raise TopologyError(
+                        f"topology {self.name!r}: duplicate core name {core!r}"
+                    )
+                seen.add(core)
+            for link in self.links:
+                for end in (link.a, link.b):
+                    if end not in seen:
+                        raise TopologyError(
+                            f"topology {self.name!r}: link "
+                            f"{link.a!r}-{link.b!r} references unknown core "
+                            f"{end!r} (cores: {sorted(seen)})"
+                        )
+        pairs = set()
+        for link in self.links:
+            pair = frozenset((link.a, link.b))
+            if pair in pairs:
+                raise TopologyError(
+                    f"topology {self.name!r}: duplicate link "
+                    f"{link.a!r}-{link.b!r}"
+                )
+            pairs.add(pair)
+        if not (self.access_capacity_pps > 0):
+            raise TopologyError(
+                f"topology {self.name!r}: access_capacity_pps must be > 0, "
+                f"got {self.access_capacity_pps!r}"
+            )
+        if self.access_prop_delay < 0:
+            raise TopologyError(
+                f"topology {self.name!r}: access_prop_delay must be >= 0, "
+                f"got {self.access_prop_delay!r}"
+            )
+        if not (self.queue_capacity > 0):
+            raise TopologyError(
+                f"topology {self.name!r}: queue_capacity must be > 0, "
+                f"got {self.queue_capacity!r}"
+            )
+
+    # -- canned shapes ---------------------------------------------------
+
+    @classmethod
+    def chain(
+        cls,
+        num_cores: int = 4,
+        capacity_pps: float = 500.0,
+        prop_delay: float = ms_to_s(40.0),
+        **kwargs,
+    ) -> "TopologySpec":
+        """The paper's Figure 2 shape: cores ``C1..Cn`` in a chain."""
+        if num_cores < 2:
+            raise TopologyError(
+                f"topology 'chain': num_cores must be >= 2, got {num_cores}"
+            )
+        names = [f"C{i}" for i in range(1, num_cores + 1)]
+        links = tuple(
+            LinkSpec(a, b, capacity_pps, prop_delay)
+            for a, b in zip(names, names[1:])
+        )
+        kwargs.setdefault("name", f"chain-{num_cores}")
+        return cls(links=links, cores=tuple(names), **kwargs)
+
+    @classmethod
+    def parking_lot(
+        cls,
+        hops: int = 3,
+        capacity_pps: float = 500.0,
+        prop_delay: float = ms_to_s(40.0),
+        **kwargs,
+    ) -> "TopologySpec":
+        """A chain of ``hops`` congested links (``hops + 1`` cores).
+
+        The parking-lot *workload* sends one long flow across every hop
+        against per-hop cross traffic; see
+        :func:`repro.experiments.scenarios.parking_lot_flows`.
+        """
+        if hops < 1:
+            raise TopologyError(
+                f"topology 'parking_lot': hops must be >= 1, got {hops}"
+            )
+        spec = cls.chain(
+            num_cores=hops + 1,
+            capacity_pps=capacity_pps,
+            prop_delay=prop_delay,
+            **{"name": f"parking-lot-{hops}", **kwargs},
+        )
+        return spec
+
+    @classmethod
+    def star(
+        cls,
+        spokes: int = 3,
+        capacity_pps: float = 500.0,
+        prop_delay: float = ms_to_s(20.0),
+        **kwargs,
+    ) -> "TopologySpec":
+        """Hub-and-spoke: ``H`` in the middle, ``S1..Sn`` around it."""
+        if spokes < 2:
+            raise TopologyError(
+                f"topology 'star': spokes must be >= 2, got {spokes}"
+            )
+        links = tuple(
+            LinkSpec("H", f"S{i}", capacity_pps, prop_delay)
+            for i in range(1, spokes + 1)
+        )
+        kwargs.setdefault("name", f"star-{spokes}")
+        return cls(links=links, **kwargs)
+
+    @classmethod
+    def mesh(
+        cls,
+        capacity_pps: float = 500.0,
+        prop_delay: float = ms_to_s(20.0),
+        **kwargs,
+    ) -> "TopologySpec":
+        """A multi-bottleneck diamond-plus-chord mesh.
+
+        Four cores ``A, B, C, D``: a fast upper path ``A-B-D`` at 1.25x
+        ``capacity_pps``, a lower path ``A-C-D`` at 1.0x (and 1.5x the
+        delay), and a cross chord ``B-C`` at 0.75x (1.25x the delay).
+        The delay asymmetry makes every shortest-delay route strict — no
+        equal-cost ties — so paths are deterministic, while flows pinned
+        to different core pairs congest different links at different fair
+        levels: the regime where per-link feedback must agree on a global
+        weighted max-min allocation.  The capacities are chosen so the
+        canned :func:`~repro.experiments.scenarios.mesh_flows` workload
+        subscribes every link exactly, with all fair shares at or above
+        a quarter of ``capacity_pps`` (large relative to the LIMD
+        decrease step, keeping saw-tooth undershoot small).
+        """
+        links = (
+            LinkSpec("A", "B", 1.25 * capacity_pps, prop_delay),
+            LinkSpec("B", "D", 1.25 * capacity_pps, prop_delay),
+            LinkSpec("A", "C", 1.0 * capacity_pps, 1.5 * prop_delay),
+            LinkSpec("C", "D", 1.0 * capacity_pps, 1.5 * prop_delay),
+            LinkSpec("B", "C", 0.75 * capacity_pps, 1.25 * prop_delay),
+        )
+        kwargs.setdefault("name", "mesh-diamond")
+        return cls(links=links, cores=("A", "B", "C", "D"), **kwargs)
+
+    @classmethod
+    def from_core_links(
+        cls,
+        core_links: Sequence[Sequence],
+        **kwargs,
+    ) -> "TopologySpec":
+        """Build from ``(core_a, core_b, capacity_pps, prop_delay)`` rows
+        (the legacy ``core_links`` harness argument)."""
+        rows = list(core_links)
+        if not rows:
+            raise TopologyError(
+                "topology: core_links must contain at least one edge"
+            )
+        links = []
+        for row in rows:
+            if len(row) not in (4, 5):
+                raise TopologyError(
+                    "topology: each core link must be "
+                    f"[a, b, capacity_pps, prop_delay], got {list(row)!r}"
+                )
+            a, b, capacity, delay = row[0], row[1], row[2], row[3]
+            queue = float(row[4]) if len(row) == 5 else None
+            links.append(
+                LinkSpec(str(a), str(b), float(capacity), float(delay), queue)
+            )
+        return cls(links=tuple(links), **kwargs)
+
+    # -- JSON round trip -------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, raw: Mapping) -> "TopologySpec":
+        """Build a spec from a JSON-compatible mapping.
+
+        ``{"kind": "chain" | "parking_lot" | "star" | "mesh" | "custom"}``
+        selects a canned shape (with its size/capacity knobs) or a custom
+        graph given as ``"links": [[a, b, capacity_pps, prop_delay], ...]``.
+        Unknown keys are rejected by name.
+        """
+        if not isinstance(raw, Mapping):
+            raise TopologyError(
+                f"topology: expected a mapping, got {type(raw).__name__}"
+            )
+        unknown = set(raw) - _TOPOLOGY_KEYS
+        if unknown:
+            raise TopologyError(
+                f"topology: unknown keys {sorted(unknown)} "
+                f"(known: {sorted(_TOPOLOGY_KEYS)})"
+            )
+        kind = raw.get("kind", "custom")
+        common = {}
+        for key in ("name", "access_capacity_pps", "access_prop_delay",
+                    "queue_capacity"):
+            if key in raw:
+                common[key] = raw[key]
+        sized = {}
+        for key in ("capacity_pps", "prop_delay"):
+            if key in raw:
+                sized[key] = float(raw[key])
+        if kind == "chain":
+            return cls.chain(int(raw.get("num_cores", 4)), **sized, **common)
+        if kind == "parking_lot":
+            return cls.parking_lot(int(raw.get("hops", 3)), **sized, **common)
+        if kind == "star":
+            return cls.star(int(raw.get("spokes", 3)), **sized, **common)
+        if kind == "mesh":
+            return cls.mesh(**sized, **common)
+        if kind == "custom":
+            if "links" not in raw:
+                raise TopologyError(
+                    "topology: a custom topology needs a 'links' list of "
+                    "[a, b, capacity_pps, prop_delay] rows"
+                )
+            if "cores" in raw:
+                common["cores"] = tuple(str(c) for c in raw["cores"])
+            return cls.from_core_links(raw["links"], **common)
+        raise TopologyError(
+            f"topology: unknown kind {kind!r} "
+            f"(known: {sorted(CANNED_TOPOLOGIES) + ['custom']})"
+        )
+
+    def to_dict(self) -> Dict:
+        """Render as the JSON shape :meth:`from_dict` accepts."""
+        return {
+            "kind": "custom",
+            "name": self.name,
+            "cores": list(self.cores),
+            "links": [link.as_row() for link in self.links],
+            "access_capacity_pps": self.access_capacity_pps,
+            "access_prop_delay": self.access_prop_delay,
+            "queue_capacity": self.queue_capacity,
+        }
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def core_names(self) -> Tuple[str, ...]:
+        return self.cores
+
+    def require_core(self, core: str, context: str) -> None:
+        """Raise a :class:`TopologyError` naming ``context`` if ``core`` is
+        not one of this topology's cores."""
+        if core not in self.cores:
+            raise TopologyError(
+                f"{context}: {core!r} is not a core of topology "
+                f"{self.name!r} (cores: {sorted(self.cores)})"
+            )
+
+
+#: Canned topology kinds accepted by ``TopologySpec.from_dict``.
+CANNED_TOPOLOGIES = {
+    "chain": TopologySpec.chain,
+    "parking_lot": TopologySpec.parking_lot,
+    "star": TopologySpec.star,
+    "mesh": TopologySpec.mesh,
+}
+
+
+@dataclass(frozen=True)
+class FlowPathSpec:
+    """One edge-to-edge flow in a spec-built network.
+
+    Attributes
+    ----------
+    flow_id:
+        Unique integer id (the paper numbers flows 1..20).
+    weight:
+        Rate weight ``w(f)``.
+    ingress_core / egress_core:
+        Core names the flow's edges attach to.  Defaults suit a 2-core
+        (single-bottleneck) chain; on other topologies name the cores
+        explicitly.  The route between them is shortest-propagation-delay.
+    schedule:
+        On/off periods as ``(start, stop)`` pairs; default "always on".
+    min_rate:
+        Optional minimum rate contract (Corelite only).
+    source:
+        Traffic model (:mod:`repro.sim.sources`); ``None`` means the
+        paper's always-backlogged source.  Poisson / ON-OFF sources feed
+        the edge shaper's backlog, so a flow can be demand-limited.
+    micro_flows:
+        Optional aggregation (Corelite only): ``(micro_id, SourceSpec)``
+        pairs.  The network treats the aggregate as one flow; the ingress
+        edge divides its allowed rate among the micro-flows round-robin
+        (see :mod:`repro.core.microflows`).  Mutually exclusive with
+        ``source``.
+    transport:
+        ``"shaped"`` (default): the edge generates the paced traffic, as
+        in the paper's §4.  ``"tcp"`` (Corelite only): a Reno TCP
+        sender/receiver host pair is attached through the edges; the
+        ingress edge shapes and polices the TCP stream to ``bg(f)``
+        (the §4.4/§6 edge-host interaction).
+    """
+
+    flow_id: int
+    weight: float = 1.0
+    ingress_core: str = "C1"
+    egress_core: str = "C2"
+    schedule: Tuple[Tuple[float, float], ...] = ((0.0, math.inf),)
+    min_rate: float = 0.0
+    source: Optional[SourceSpec] = None
+    micro_flows: Tuple[Tuple[int, SourceSpec], ...] = ()
+    transport: str = "shaped"
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise FlowError(
+                f"flow {self.flow_id}: weight must be > 0, got {self.weight}"
+            )
+        if self.min_rate < 0:
+            raise FlowError(
+                f"flow {self.flow_id}: min_rate must be >= 0, "
+                f"got {self.min_rate}"
+            )
+        if self.ingress_core == self.egress_core:
+            raise FlowError(
+                f"flow {self.flow_id}: ingress and egress core must differ "
+                f"(both are {self.ingress_core!r})"
+            )
+        for start, stop in self.schedule:
+            if start < 0 or stop <= start:
+                raise FlowError(
+                    f"flow {self.flow_id}: bad schedule period ({start}, {stop})"
+                )
+        if self.transport not in ("shaped", "tcp"):
+            raise FlowError(
+                f"flow {self.flow_id}: unknown transport {self.transport!r} "
+                "(expected 'shaped' or 'tcp')"
+            )
+        if self.transport == "tcp" and (self.source is not None or self.micro_flows):
+            raise FlowError(
+                f"flow {self.flow_id}: a TCP flow's traffic comes from its "
+                "sender host, not a source model or micro-flows"
+            )
+        if self.micro_flows:
+            if self.source is not None:
+                raise FlowError(
+                    f"flow {self.flow_id}: micro_flows and source are exclusive"
+                )
+            ids = [mid for mid, _spec in self.micro_flows]
+            if len(set(ids)) != len(ids):
+                raise FlowError(f"flow {self.flow_id}: duplicate micro-flow ids")
+            for mid, spec in self.micro_flows:
+                if spec.is_backlogged:
+                    raise FlowError(
+                        f"flow {self.flow_id}: micro-flow {mid} needs a "
+                        "finite-rate source"
+                    )
+
+    @property
+    def backlogged(self) -> bool:
+        """Whether the flow uses the paper's always-backlogged source."""
+        if self.micro_flows or self.transport == "tcp":
+            return False
+        return self.source is None or self.source.is_backlogged
+
+    @property
+    def ingress_edge(self) -> str:
+        return f"Ein{self.flow_id}"
+
+    @property
+    def egress_edge(self) -> str:
+        return f"Eout{self.flow_id}"
+
+    @property
+    def sender_host(self) -> str:
+        return f"Hs{self.flow_id}"
+
+    @property
+    def receiver_host(self) -> str:
+        return f"Hr{self.flow_id}"
+
+    def demand(self) -> float:
+        """Mean offered load capping the flow's expected allocation."""
+        if self.micro_flows:
+            return sum(s.offered_rate() for _mid, s in self.micro_flows)
+        if self.source is not None:
+            return self.source.offered_rate()
+        return math.inf
+
+
+#: Historical name, kept as the public alias: most call sites say
+#: ``FlowSpec``; the declarative pipeline documentation says
+#: ``FlowPathSpec``.  They are the same class.
+FlowSpec = FlowPathSpec

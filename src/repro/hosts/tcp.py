@@ -105,7 +105,9 @@ class TcpSender(Router):
             self.next_seq += 1
 
     def _transmit(self, seq: int, fresh: bool) -> None:
-        packet = Packet.data(self.flow_id, self.name, self.dst_host, seq=seq, now=self.sim.now)
+        packet = Packet.data(
+            self.flow_id, self.name, self.dst_host, seq=seq, now=self.sim.now, sim=self.sim
+        )
         if fresh:
             self._send_times[seq] = self.sim.now
         else:
@@ -259,6 +261,7 @@ class TcpReceiver(Router):
             size=0.0,
             seq=self.rcv_next,
             created_at=self.sim.now,
+            sim=self.sim,
         )
         self.acks_sent += 1
         self.forward(ack)

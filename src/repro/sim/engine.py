@@ -98,13 +98,14 @@ class Simulator:
         sim.run(until=10.0)
     """
 
-    __slots__ = ("_now", "_heap", "_seq", "_running", "events_executed")
+    __slots__ = ("_now", "_heap", "_seq", "_running", "_next_pid", "events_executed")
 
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: List[Any] = []
         self._seq = 0
         self._running = False
+        self._next_pid = 0
         #: Total number of events executed so far (for micro-benchmarks).
         self.events_executed = 0
 
@@ -112,6 +113,17 @@ class Simulator:
     def now(self) -> float:
         """Current virtual time in seconds."""
         return self._now
+
+    def next_packet_id(self) -> int:
+        """Allocate the next packet id (1, 2, ...) for this simulation.
+
+        Owning the counter per simulator — rather than per process — makes
+        packet ids a pure function of the simulation itself: a cloud built
+        and run twice in one process, or in parallel workers, sees the
+        same ids both times.
+        """
+        self._next_pid += 1
+        return self._next_pid
 
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""

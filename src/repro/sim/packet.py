@@ -21,10 +21,18 @@ from __future__ import annotations
 
 import itertools
 from enum import IntEnum
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
 
 __all__ = ["Packet", "PacketKind"]
 
+#: Fallback id source for packets built without a simulator (unit tests,
+#: interactive probing).  Components always pass ``sim=`` so that packet
+#: ids are allocated per simulation: two clouds built in one process then
+#: produce identical id sequences, which keeps batch runs reproducible
+#: regardless of how many simulations the process ran before.
 _packet_ids = itertools.count(1)
 
 
@@ -45,7 +53,9 @@ class Packet:
     Attributes
     ----------
     pid:
-        Globally unique packet id (monotonically increasing).
+        Packet id, unique and monotonically increasing within one
+        simulation (allocated by the owning :class:`Simulator` when
+        ``sim`` is passed; a process-global counter otherwise).
     kind:
         One of :class:`PacketKind`.
     flow_id:
@@ -98,8 +108,9 @@ class Packet:
         origin_edge: Optional[str] = None,
         label: float = 0.0,
         created_at: float = 0.0,
+        sim: Optional["Simulator"] = None,
     ) -> None:
-        self.pid = next(_packet_ids)
+        self.pid = next(_packet_ids) if sim is None else sim.next_packet_id()
         self.kind = kind
         self.flow_id = flow_id
         self.size = size
@@ -119,15 +130,38 @@ class Packet:
 
     @classmethod
     def data(
-        cls, flow_id: int, src: str, dst: str, seq: int, now: float, label: float = 0.0
+        cls,
+        flow_id: int,
+        src: str,
+        dst: str,
+        seq: int,
+        now: float,
+        label: float = 0.0,
+        sim: Optional["Simulator"] = None,
     ) -> "Packet":
         """Create a DATA packet (size 1.0)."""
         return cls(
-            PacketKind.DATA, flow_id, src, dst, size=1.0, seq=seq, label=label, created_at=now
+            PacketKind.DATA,
+            flow_id,
+            src,
+            dst,
+            size=1.0,
+            seq=seq,
+            label=label,
+            created_at=now,
+            sim=sim,
         )
 
     @classmethod
-    def marker(cls, flow_id: int, src: str, dst: str, label: float, now: float) -> "Packet":
+    def marker(
+        cls,
+        flow_id: int,
+        src: str,
+        dst: str,
+        label: float,
+        now: float,
+        sim: Optional["Simulator"] = None,
+    ) -> "Packet":
         """Create a piggybacked MARKER packet (size 0.0).
 
         ``src`` doubles as the marker's origin edge: the core router sends
@@ -142,9 +176,12 @@ class Packet:
             origin_edge=src,
             label=label,
             created_at=now,
+            sim=sim,
         )
 
-    def to_feedback(self, core_link: str, now: float) -> "Packet":
+    def to_feedback(
+        self, core_link: str, now: float, sim: Optional["Simulator"] = None
+    ) -> "Packet":
         """Clone this marker into a FEEDBACK packet addressed to its edge."""
         fb = Packet(
             PacketKind.FEEDBACK,
@@ -154,6 +191,7 @@ class Packet:
             size=0.0,
             label=self.label,
             created_at=now,
+            sim=sim,
         )
         fb.origin_edge = self.origin_edge
         fb.feedback_from = core_link

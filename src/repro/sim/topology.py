@@ -64,6 +64,15 @@ class Topology:
             raise TopologyError(f"unknown destination node {dst!r}")
         if src == dst:
             raise TopologyError(f"self-loop on {src!r}")
+        if not bandwidth_pps > 0:
+            raise TopologyError(
+                f"link {src!r}->{dst!r}: bandwidth_pps must be positive, "
+                f"got {bandwidth_pps!r}"
+            )
+        if prop_delay < 0:
+            raise TopologyError(
+                f"link {src!r}->{dst!r}: prop_delay must be >= 0, got {prop_delay!r}"
+            )
         link_name = name or f"{src}->{dst}"
         if link_name in self.links:
             raise TopologyError(f"duplicate link name {link_name!r}")

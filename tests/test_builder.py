@@ -1,0 +1,170 @@
+"""Unit tests for the spec-driven cloud builder (layer 2 of the
+pipeline): strategies, validation, and — crucially — event-for-event
+equivalence with the historical harness classes on chain topologies."""
+
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.experiments.builder import (
+    Cloud,
+    CloudBuilder,
+    CoreliteStrategy,
+    CsfqStrategy,
+    FifoStrategy,
+    SCHEME_STRATEGIES,
+)
+from repro.experiments.network import (
+    CoreliteNetwork,
+    CsfqNetwork,
+    FifoLossNetwork,
+    FlowSpec,
+)
+from repro.experiments.topospec import LinkSpec, TopologySpec
+
+
+def two_flow_specs():
+    return [
+        FlowSpec(flow_id=1, weight=1.0, ingress_core="C1", egress_core="C4"),
+        FlowSpec(flow_id=2, weight=2.0, ingress_core="C2", egress_core="C3"),
+    ]
+
+
+def series_fingerprint(result):
+    return {
+        fid: (list(rec.rate_series), list(rec.throughput_series))
+        for fid, rec in result.flows.items()
+    }
+
+
+class TestEquivalenceWithLegacyHarness:
+    """A same-seed chain run must be identical through either front door:
+    the refactor moved the wiring, not the behavior."""
+
+    @pytest.mark.parametrize(
+        "legacy_cls, scheme",
+        [(CoreliteNetwork, "corelite"), (CsfqNetwork, "csfq"), (FifoLossNetwork, "fifo")],
+    )
+    def test_chain_runs_match_exactly(self, legacy_cls, scheme):
+        legacy = legacy_cls(num_cores=4, seed=3)
+        for spec in two_flow_specs():
+            legacy.add_flow(spec)
+        legacy_result = legacy.run(until=12.0)
+
+        builder = CloudBuilder(TopologySpec.chain(4), scheme=scheme, seed=3)
+        builder.add_flows(two_flow_specs())
+        new_result = builder.run(until=12.0)
+
+        assert series_fingerprint(new_result) == series_fingerprint(legacy_result)
+        assert new_result.total_drops == legacy_result.total_drops
+
+    def test_legacy_class_is_a_cloud(self):
+        net = CoreliteNetwork(num_cores=2, seed=0)
+        assert isinstance(net, Cloud)
+        assert net.scheme == "corelite"
+
+
+class TestStrategies:
+    def test_scheme_registry(self):
+        assert SCHEME_STRATEGIES == {
+            "corelite": CoreliteStrategy,
+            "csfq": CsfqStrategy,
+            "fifo": FifoStrategy,
+        }
+
+    def test_strategy_binds_to_one_cloud_only(self):
+        strategy = CoreliteStrategy()
+        Cloud(TopologySpec.chain(2), strategy, seed=0)
+        with pytest.raises(ConfigurationError, match="one cloud"):
+            Cloud(TopologySpec.chain(2), strategy, seed=0)
+
+    def test_wrong_config_type_rejected(self):
+        from repro.csfq.config import CsfqConfig
+
+        with pytest.raises(ConfigurationError, match="CoreliteConfig"):
+            CoreliteStrategy(CsfqConfig())
+
+    def test_csfq_rejects_min_rate_contracts(self):
+        builder = CloudBuilder(TopologySpec.chain(2), scheme="csfq")
+        builder.add_flow(flow_id=1, min_rate=50.0)
+        with pytest.raises(ConfigurationError, match="min_rate"):
+            builder.build()
+
+
+class TestCloudValidation:
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigurationError, match="quantum"):
+            CloudBuilder(TopologySpec.chain(2), scheme="quantum")
+
+    def test_unknown_ingress_core_named_in_error(self):
+        builder = CloudBuilder(TopologySpec.chain(2), scheme="corelite")
+        builder.add_flow(flow_id=1, ingress_core="C7", egress_core="C2")
+        with pytest.raises(
+            TopologyError, match=r"flow 1: ingress_core='C7'.*chain-2"
+        ):
+            builder.build()
+
+    def test_unroutable_flow_named_at_finalize(self):
+        # Two disconnected islands: A-B and X-Y.
+        spec = TopologySpec(
+            links=(LinkSpec("A", "B", 500.0, 0.02), LinkSpec("X", "Y", 500.0, 0.02)),
+            name="islands",
+        )
+        builder = CloudBuilder(spec, scheme="corelite")
+        builder.add_flow(flow_id=1, ingress_core="A", egress_core="Y")
+        with pytest.raises(TopologyError, match=r"flow 1: no route.*'A'.*'Y'.*islands"):
+            builder.build()
+
+    def test_flows_after_finalize_rejected(self):
+        builder = CloudBuilder(TopologySpec.chain(2), scheme="corelite")
+        builder.add_flow(flow_id=1)
+        cloud = builder.build()
+        with pytest.raises(ConfigurationError, match="finalize"):
+            cloud.add_flow(FlowSpec(flow_id=2))
+
+    def test_no_flows_rejected(self):
+        with pytest.raises(ConfigurationError, match="no flows"):
+            CloudBuilder(TopologySpec.chain(2), scheme="corelite").build()
+
+    def test_core_router_rejects_non_core(self):
+        builder = CloudBuilder(TopologySpec.chain(2), scheme="corelite")
+        builder.add_flow(flow_id=1)
+        cloud = builder.build()
+        assert cloud.core_router("C1") is cloud.topology.nodes["C1"]
+        with pytest.raises(TopologyError, match="Ein1"):
+            cloud.core_router("Ein1")
+
+
+class TestReferenceRates:
+    def test_single_bottleneck_weighted_split(self):
+        builder = CloudBuilder(TopologySpec.chain(2), scheme="corelite")
+        builder.add_flow(flow_id=1, weight=1.0)
+        builder.add_flow(flow_id=2, weight=3.0)
+        cloud = builder.build()
+        ref = cloud.reference_rates()
+        assert ref[1] == pytest.approx(125.0)
+        assert ref[2] == pytest.approx(375.0)
+
+    def test_mesh_reference_matches_analytic_levels(self):
+        from repro.experiments.scenarios import mesh_flows
+
+        builder = CloudBuilder(TopologySpec.mesh(), scheme="corelite")
+        builder.add_flows(mesh_flows())
+        ref = builder.build().reference_rates()
+        expected = {
+            1: 250.0, 2: 250.0, 3: 125.0, 4: 125.0,
+            5: 250.0, 6: 125.0, 7: 125.0,
+            8: 250.0, 9: 250.0,
+            10: 125.0, 11: 125.0, 12: 125.0,
+        }
+        for fid, rate in expected.items():
+            assert ref[fid] == pytest.approx(rate), fid
+
+    def test_parking_lot_reference(self):
+        from repro.experiments.scenarios import parking_lot_flows
+
+        builder = CloudBuilder(TopologySpec.parking_lot(3), scheme="corelite")
+        builder.add_flows(parking_lot_flows())
+        ref = builder.build().reference_rates()
+        assert ref[1] == pytest.approx(250.0)
+        for fid in range(2, 8):
+            assert ref[fid] == pytest.approx(125.0)

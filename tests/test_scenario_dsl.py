@@ -113,6 +113,59 @@ class TestBuild:
             build_network(basic_scenario(flows=[]))
 
 
+class TestTopologyKey:
+    def test_canned_parking_lot(self):
+        net = build_network(basic_scenario(
+            topology={"kind": "parking_lot", "hops": 3},
+            flows=[
+                {"id": 1, "weight": 2, "ingress": "C1", "egress": "C4"},
+                {"id": 2, "ingress": "C1", "egress": "C2"},
+            ],
+        ))
+        assert net.core_names == ["C1", "C2", "C3", "C4"]
+
+    def test_custom_links(self):
+        net = build_network(basic_scenario(
+            topology={"kind": "custom",
+                      "links": [["A", "B", 500, 0.02], ["B", "C", 250, 0.02]]},
+            flows=[{"id": 1, "ingress": "A", "egress": "C"}],
+        ))
+        assert net.core_names == ["A", "B", "C"]
+        assert net.topology.links["B->C"].bandwidth_pps == 250.0
+
+    def test_topology_and_shape_keys_are_exclusive(self):
+        with pytest.raises(ConfigurationError, match="mutually exclusive"):
+            build_network(basic_scenario(
+                topology={"kind": "mesh"},
+                network={"num_cores": 3},
+            ))
+
+    def test_control_loss_prob_still_allowed_with_topology(self):
+        net = build_network(basic_scenario(
+            topology={"kind": "chain", "num_cores": 2},
+            network={"control_loss_prob": 0.1},
+        ))
+        assert net.control.loss_prob == 0.1
+
+    def test_bad_topology_value_names_the_field(self):
+        from repro.errors import TopologyError
+
+        with pytest.raises(TopologyError, match=r"capacity_pps.*-5"):
+            build_network(basic_scenario(
+                topology={"kind": "custom", "links": [["A", "B", -5, 0.02]]},
+                flows=[{"id": 1, "ingress": "A", "egress": "B"}],
+            ))
+
+    def test_example_scenario_files_build(self):
+        import os
+
+        root = os.path.join(os.path.dirname(__file__), "..", "examples", "scenarios")
+        for fname in ("chain4.json", "parking_lot.json", "mesh.json"):
+            scenario = load_scenario_file(os.path.join(root, fname))
+            net = build_network(scenario)
+            assert net.flows, fname
+
+
 class TestRun:
     def test_end_to_end(self):
         result = run_scenario(basic_scenario(duration=20.0))
