@@ -21,7 +21,28 @@ from repro.sim.queues import DropTailQueue
 
 @pytest.mark.benchmark(group="micro")
 def test_event_loop_throughput(benchmark):
-    """Schedule-and-run 100k chained events."""
+    """Schedule-and-run 100k chained events on the no-handle fast path."""
+
+    def run():
+        sim = Simulator()
+        remaining = [100_000]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule_fast(0.001, tick)
+
+        sim.schedule_fast(0.001, tick)
+        sim.run()
+        return sim.events_executed
+
+    events = benchmark(run)
+    assert events == 100_000
+
+
+@pytest.mark.benchmark(group="micro")
+def test_event_loop_throughput_cancellable(benchmark):
+    """Same chain through ``schedule()`` (EventHandle per event)."""
 
     def run():
         sim = Simulator()
@@ -57,7 +78,7 @@ def test_link_forwarding_throughput(benchmark):
         sink = Sink()
         link = Link(sim, "A->B", "A", sink, 1e6, 0.001, DropTailQueue(30_000))
         for i in range(20_000):
-            link.send(Packet.data(1, "A", "B", seq=i, now=0.0))
+            link.send(Packet.data(1, "A", "B", seq=i, now=0.0, sim=sim))
         sim.run()
         return sink.count
 

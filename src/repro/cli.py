@@ -9,6 +9,7 @@ figures or ablations from the terminal::
     corelite ablation feedback
     corelite run my_scenario.json        # declarative DSL
     corelite batch my_scenario.json --num-seeds 4 --workers 4
+    corelite bench --quick               # perf suite + BENCH_*.json report
     corelite report                      # verify all paper claims
 
 Each figure command prints the paper-style measured-vs-expected table and
@@ -250,7 +251,38 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("scenario", type=str, help="path to a scenario JSON file")
     run.add_argument("--json", type=str, default=None)
     run.add_argument("--no-chart", action="store_true")
+    run.add_argument("--profile", type=str, default=None, metavar="STATS",
+                     help="run under cProfile and dump pstats data to a file")
     run.set_defaults(handler=_run_scenario_file)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the perf bench suite and write a BENCH_<label>.json report",
+        description="Measure event-engine and datapath throughput "
+        "(simulated events/sec), write the BENCH_<label>.json trajectory "
+        "point, and optionally gate against a previous report with a "
+        "regression threshold — the proof layer for hot-path work.",
+    )
+    bench.add_argument("--label", type=str, default="local",
+                       help="report label; the file is BENCH_<label>.json")
+    bench.add_argument("--out-dir", type=str, default="benchmarks/results",
+                       help="directory the report is written into")
+    bench.add_argument("--quick", action="store_true",
+                       help="small sizes / fewer repeats (the CI smoke)")
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="override per-bench repeat count")
+    bench.add_argument("--baseline", type=str, default=None,
+                       help="previous BENCH_*.json to diff against; exits 1 "
+                            "on a regression beyond --threshold")
+    bench.add_argument("--threshold", type=float, default=0.30,
+                       help="regression gate as a fraction (0.30 = 30%%)")
+    bench.add_argument("--pool", action="store_true",
+                       help="enable the packet free-list pool in the "
+                            "scenario bench")
+    bench.add_argument("--profile", type=str, default=None, metavar="STATS",
+                       help="run the suite under cProfile and dump pstats "
+                            "data to a file")
+    bench.set_defaults(handler=_run_bench)
 
     rp = sub.add_parser(
         "report",
@@ -348,11 +380,79 @@ def _run_batch(args: argparse.Namespace) -> Dict:
     }
 
 
+def _run_bench(args: argparse.Namespace) -> Dict:
+    import os
+
+    from repro import perf
+
+    print(f"== corelite bench ({'quick' if args.quick else 'full'} suite) ==")
+    with _maybe_profile(args.profile):
+        report = perf.run_suite(
+            label=args.label,
+            quick=args.quick,
+            repeats=args.repeats,
+            pool=args.pool,
+            log=print,
+        )
+    print()
+    print(perf.format_report_table(report))
+    os.makedirs(args.out_dir, exist_ok=True)
+    out_path = os.path.join(args.out_dir, f"BENCH_{args.label}.json")
+    report.write(out_path)
+    print(f"\nwrote {out_path}")
+
+    payload = report.as_dict()
+    payload["report_path"] = out_path
+    if args.baseline:
+        baseline = perf.load_report(args.baseline)
+        regressions, improvements = perf.diff_reports(
+            payload, baseline, threshold=args.threshold
+        )
+        print(f"\nvs {args.baseline} (gate: -{args.threshold:.0%}):")
+        print(perf.format_diff_table(regressions, improvements))
+        payload["regressions"] = [r.name for r in regressions]
+        if regressions:
+            raise SystemExit(
+                f"corelite bench: {len(regressions)} bench(es) regressed "
+                f"more than {args.threshold:.0%} vs {args.baseline}"
+            )
+    return payload
+
+
+class _maybe_profile:
+    """Context manager: cProfile the body and dump stats when a path is set."""
+
+    def __init__(self, stats_path: Optional[str]) -> None:
+        self._path = stats_path
+        self._profile = None
+
+    def __enter__(self):
+        if self._path:
+            import cProfile
+
+            self._profile = cProfile.Profile()
+            self._profile.enable()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._profile is not None:
+            self._profile.disable()
+            import os
+
+            parent = os.path.dirname(self._path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._profile.dump_stats(self._path)
+            print(f"wrote cProfile stats to {self._path} "
+                  f"(inspect with: python -m pstats {self._path})")
+
+
 def _run_scenario_file(args: argparse.Namespace) -> Dict:
     from repro.experiments.scenario_dsl import load_scenario_file, run_scenario
 
     scenario = load_scenario_file(args.scenario)
-    result = run_scenario(scenario)
+    with _maybe_profile(getattr(args, "profile", None)):
+        result = run_scenario(scenario)
     duration = result.duration
     window = (0.75 * duration, duration)
     _print_result(result, window, chart=not args.no_chart)

@@ -414,6 +414,9 @@ class CoreliteEdge(Router):
             )
         if packet.kind == PacketKind.MARKER:
             state.markers_received += 1
+            pool = self.sim.packet_pool
+            if pool is not None:
+                pool.release(packet)
             return
         if packet.kind != PacketKind.DATA:
             return
@@ -426,6 +429,11 @@ class CoreliteEdge(Router):
         state.micro_delivered[packet.micro_id] = (
             state.micro_delivered.get(packet.micro_id, 0) + 1
         )
+        # Terminal sink: this edge is the last owner of a locally-delivered
+        # packet, so it may recycle the object (no-op when pooling is off).
+        pool = self.sim.packet_pool
+        if pool is not None:
+            pool.release(packet)
 
     # -- shared receive path -------------------------------------------------
 

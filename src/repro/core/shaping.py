@@ -150,21 +150,27 @@ class PacedSender:
             return -1.0  # dormant until the rate rises
         return (1.0 - self._credit) / self._rate
 
-    def _schedule(self, delay: float) -> None:
+    def _schedule(self, delay: float, reuse: Optional[EventHandle] = None) -> None:
         if self._handle is not None:
             self._handle.cancel()
             self._handle = None
         if delay < 0:
             return  # dormant (rate 0); set_rate re-schedules
-        self._handle = self._sim.schedule(delay, self._fire)
+        if reuse is not None:
+            # ``reuse`` is the handle whose heap entry just fired — re-arm
+            # it in place instead of allocating a fresh one per emission.
+            self._handle = self._sim.reschedule(delay, self._fire, reuse)
+        else:
+            self._handle = self._sim.schedule(delay, self._fire)
 
     def _fire(self) -> None:
+        fired = self._handle
         self._handle = None
         if not self._running:
             return
         self._accrue()
         if self._credit < 1.0 - _TOKEN_EPS:
-            self._schedule(self._delay_until_token())
+            self._schedule(self._delay_until_token(), reuse=fired)
             return
         sent = self._emit()
         if not self._running:
@@ -177,7 +183,7 @@ class PacedSender:
         self._credit = max(0.0, self._credit - 1.0)
         self._last_emit = self._sim.now
         self.packets_sent += 1
-        self._schedule(self._delay_until_token())
+        self._schedule(self._delay_until_token(), reuse=fired)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "running" if self._running else "stopped"

@@ -271,6 +271,11 @@ class CsfqEdge(Router):
         state.expected_seq = packet.seq + 1
         state.meter.record()
         state.delay.record(max(0.0, self.sim.now - packet.created_at))
+        # Terminal sink: recycle the delivered packet (no-op when pooling
+        # is off); nothing above retains a reference to the object.
+        pool = self.sim.packet_pool
+        if pool is not None:
+            pool.release(packet)
 
     def _report_loss(self, packet: Packet, gap: int) -> None:
         if self.loss_channel is None:

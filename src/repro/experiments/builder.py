@@ -37,7 +37,7 @@ from repro.fairness.maxmin import FlowDemand, weighted_maxmin
 from repro.sim.control import ControlPlane
 from repro.sim.engine import Simulator
 from repro.sim.monitor import Series
-from repro.sim.packet import Packet
+from repro.sim.packet import Packet, PacketPool
 from repro.sim.queues import DropTailQueue
 from repro.sim.rng import RngRegistry
 from repro.sim.topology import Topology
@@ -331,13 +331,17 @@ class Cloud:
         seed: int = 0,
         queue_factory: Optional[Callable[[], DropTailQueue]] = None,
         control_loss_prob: float = 0.0,
+        packet_pool: bool = False,
     ) -> None:
         """``queue_factory`` overrides the default drop-tail buffer on
         every link (used by the AQM ablations to swap in RED or DECbit
         queues) and takes precedence over per-link ``queue_capacity``
         overrides in the spec.  ``control_loss_prob`` injects random loss
         of control packets (feedback markers / loss notifications) for
-        robustness experiments."""
+        robustness experiments.  ``packet_pool`` recycles delivered
+        packet objects through a free list — results are byte-identical
+        either way (pinned by replay tests); it only cuts allocator churn
+        on long runs."""
         if not isinstance(spec, TopologySpec):
             raise ConfigurationError(
                 f"Cloud needs a TopologySpec, got {type(spec).__name__}"
@@ -348,6 +352,8 @@ class Cloud:
         self.scheme = strategy.scheme
         self.config = strategy.make_config()
         self.sim = Simulator()
+        if packet_pool:
+            self.sim.packet_pool = PacketPool()
         self.rng = RngRegistry(seed)
         self.seed = seed
         self.topology = Topology(self.sim)
@@ -721,6 +727,7 @@ class CloudBuilder:
         config=None,
         queue_factory: Optional[Callable[[], DropTailQueue]] = None,
         control_loss_prob: float = 0.0,
+        packet_pool: bool = False,
     ) -> None:
         if scheme not in SCHEME_STRATEGIES:
             raise ConfigurationError(
@@ -732,6 +739,7 @@ class CloudBuilder:
         self.config = config
         self.queue_factory = queue_factory
         self.control_loss_prob = control_loss_prob
+        self.packet_pool = packet_pool
         self._flows: List[FlowPathSpec] = []
 
     def add_flow(self, spec: Union[FlowPathSpec, None] = None, **kwargs) -> "CloudBuilder":
@@ -762,6 +770,7 @@ class CloudBuilder:
             seed=self.seed,
             queue_factory=self.queue_factory,
             control_loss_prob=self.control_loss_prob,
+            packet_pool=self.packet_pool,
         )
         cloud.add_flows(self._flows)
         if finalize:

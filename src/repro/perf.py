@@ -1,0 +1,527 @@
+"""Performance measurement and regression tracking (the proof layer).
+
+Every figure reproduction executes millions of per-packet events, and the
+ROADMAP's north star is a system that runs as fast as the hardware
+allows.  Claims like "the engine got faster" are worthless without a
+trajectory, so this module owns one:
+
+* a deterministic micro + scenario bench suite (:data:`BENCHES`) that
+  exercises the event engine, the link datapath, packet allocation and a
+  full spec-built cloud;
+* a ``BENCH_<label>.json`` report format (:class:`BenchReport`) with
+  per-bench medians, work-unit throughput, wall time and peak RSS;
+* a diff (:func:`diff_reports`) against any previous report with a
+  configurable regression threshold — the CI perf-smoke gate.
+
+The suite runs against *any* revision of the simulator: benches probe for
+the fast-path scheduling calls with ``getattr`` and fall back to the
+portable API, which is what makes before/after pairs comparable (the
+committed ``BENCH_seed.json`` was produced by this very suite on the
+pre-optimization engine).
+
+Throughput is reported as work units per second, where the unit is the
+natural one for each bench (``events`` for engine benches, ``packets``
+for datapath benches): events-per-packet-hop is exactly what the hot-path
+optimizations change, so packet benches must be judged by packets moved,
+not by events burned.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro._version import __version__
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "BenchResult",
+    "BenchReport",
+    "BenchRegression",
+    "BENCHES",
+    "run_bench",
+    "run_suite",
+    "diff_reports",
+    "load_report",
+    "format_report_table",
+    "format_diff_table",
+]
+
+#: Report schema version (bump when the JSON layout changes).
+SCHEMA = 1
+
+
+# ---------------------------------------------------------------------------
+# bench definitions
+# ---------------------------------------------------------------------------
+
+
+def _preferred_schedule(sim):
+    """The engine's cheapest fire-and-forget scheduling call.
+
+    Falls back to the cancellable :meth:`Simulator.schedule` on revisions
+    that predate the fast path, so one suite can measure both sides of
+    the optimization.
+    """
+    return getattr(sim, "schedule_fast", sim.schedule)
+
+
+def _bench_event_loop(scale: float) -> Tuple[int, float]:
+    """Schedule-and-run chained events through the preferred call."""
+    from repro.sim.engine import Simulator
+
+    total = max(1000, int(200_000 * scale))
+    sim = Simulator()
+    sched = _preferred_schedule(sim)
+    remaining = [total]
+
+    def tick() -> None:
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            sched(0.001, tick)
+
+    sched(0.001, tick)
+    started = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - started
+    if sim.events_executed != total:
+        raise ConfigurationError(
+            f"event_loop bench executed {sim.events_executed} != {total}"
+        )
+    return total, elapsed
+
+
+def _bench_event_loop_cancellable(scale: float) -> Tuple[int, float]:
+    """The same chain through the handle-allocating cancellable path."""
+    from repro.sim.engine import Simulator
+
+    total = max(1000, int(100_000 * scale))
+    sim = Simulator()
+    remaining = [total]
+
+    def tick() -> None:
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            sim.schedule(0.001, tick)
+
+    sim.schedule(0.001, tick)
+    started = time.perf_counter()
+    sim.run()
+    elapsed = time.perf_counter() - started
+    return total, elapsed
+
+
+def _bench_link_forwarding(scale: float) -> Tuple[int, float]:
+    """Push a backlogged burst of data packets through one link."""
+    from repro.sim.engine import Simulator
+    from repro.sim.link import Link
+    from repro.sim.node import Node
+    from repro.sim.packet import Packet
+    from repro.sim.queues import DropTailQueue
+
+    total = max(500, int(20_000 * scale))
+
+    class Sink(Node):
+        def __init__(self) -> None:
+            super().__init__("B")
+            self.count = 0
+
+        def receive(self, packet, link) -> None:
+            self.count += 1
+
+    sim = Simulator()
+    sink = Sink()
+    link = Link(sim, "A->B", "A", sink, 1e6, 0.001, DropTailQueue(2 * total))
+    packets = [
+        Packet.data(1, "A", "B", seq=i, now=0.0, sim=sim) for i in range(total)
+    ]
+    started = time.perf_counter()
+    for packet in packets:
+        link.send(packet)
+    sim.run()
+    elapsed = time.perf_counter() - started
+    if sink.count != total:
+        raise ConfigurationError(f"link bench delivered {sink.count} != {total}")
+    return total, elapsed
+
+
+def _bench_periodic_ticks(scale: float) -> Tuple[int, float]:
+    """Many concurrent periodic tasks (epoch clocks, samplers)."""
+    from repro.sim.engine import Simulator
+
+    tasks = 50
+    horizon = max(1.0, 40.0 * scale)
+    sim = Simulator()
+    fired = [0]
+
+    def tick() -> None:
+        fired[0] += 1
+
+    for i in range(tasks):
+        sim.every(0.01, tick, first_delay=0.01 + i * 1e-5)
+    started = time.perf_counter()
+    sim.run(until=horizon)
+    elapsed = time.perf_counter() - started
+    return fired[0], elapsed
+
+
+def _bench_packet_alloc(scale: float) -> Tuple[int, float]:
+    """Raw packet construction with per-simulation ids."""
+    from repro.sim.engine import Simulator
+    from repro.sim.packet import Packet
+
+    total = max(1000, int(100_000 * scale))
+    sim = Simulator()
+    data = Packet.data
+    started = time.perf_counter()
+    for i in range(total):
+        data(1, "A", "B", seq=i, now=0.0, sim=sim)
+    elapsed = time.perf_counter() - started
+    return total, elapsed
+
+
+def _bench_packet_alloc_pooled(scale: float) -> Tuple[int, float]:
+    """Packet acquire/release cycle through the free-list pool.
+
+    Skipped (raises ``NotImplementedError``) on revisions without a pool.
+    """
+    from repro.sim.engine import Simulator
+    from repro.sim import packet as packet_mod
+
+    pool_cls = getattr(packet_mod, "PacketPool", None)
+    if pool_cls is None:
+        raise NotImplementedError("no PacketPool in this revision")
+    total = max(1000, int(100_000 * scale))
+    sim = Simulator()
+    sim.packet_pool = pool_cls()
+    pool = sim.packet_pool
+    data = packet_mod.Packet.data
+    started = time.perf_counter()
+    for i in range(total):
+        pool.release(data(1, "A", "B", seq=i, now=0.0, sim=sim))
+    elapsed = time.perf_counter() - started
+    return total, elapsed
+
+
+def _scenario_cloud(pool: bool):
+    from repro.experiments.builder import CloudBuilder
+    from repro.experiments.scenarios import WEIGHTS_41, topology1_flows
+    from repro.experiments.topospec import TopologySpec
+
+    builder = CloudBuilder(TopologySpec.chain(4), scheme="corelite", seed=0)
+    builder.add_flows(topology1_flows(WEIGHTS_41, {}))
+    cloud = builder.build()
+    if pool:
+        from repro.sim import packet as packet_mod
+
+        pool_cls = getattr(packet_mod, "PacketPool", None)
+        if pool_cls is None:
+            raise NotImplementedError("no PacketPool in this revision")
+        cloud.sim.packet_pool = pool_cls()
+    return cloud
+
+
+def _bench_scenario_chain4(scale: float, pool: bool = False) -> Tuple[int, float]:
+    """The paper's §4.1 4-core chain with 20 backlogged flows, end to end.
+
+    The reported unit count is *simulated events executed*: this is the
+    headline simulated-events-per-second number for a real workload.
+    """
+    horizon = max(1.0, 5.0 * scale)
+    cloud = _scenario_cloud(pool)
+    started = time.perf_counter()
+    cloud.run(until=horizon)
+    elapsed = time.perf_counter() - started
+    return cloud.sim.events_executed, elapsed
+
+
+#: name -> (bench callable taking a size scale, work unit name).
+BENCHES: Dict[str, Tuple[Callable[[float], Tuple[int, float]], str]] = {
+    "event_loop": (_bench_event_loop, "events"),
+    "event_loop_cancellable": (_bench_event_loop_cancellable, "events"),
+    "link_forwarding": (_bench_link_forwarding, "packets"),
+    "periodic_ticks": (_bench_periodic_ticks, "events"),
+    "packet_alloc": (_bench_packet_alloc, "packets"),
+    "packet_alloc_pooled": (_bench_packet_alloc_pooled, "packets"),
+    "scenario_chain4": (_bench_scenario_chain4, "events"),
+}
+
+
+# ---------------------------------------------------------------------------
+# results and reports
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BenchResult:
+    """Timings of one bench across its repeats."""
+
+    name: str
+    unit: str
+    units: int
+    median_s: float
+    best_s: float
+    repeats: int
+
+    @property
+    def rate(self) -> float:
+        """Work units per second at the median timing."""
+        if self.median_s <= 0.0:
+            return math.inf
+        return self.units / self.median_s
+
+    def as_dict(self) -> Dict:
+        return {
+            "unit": self.unit,
+            "units": self.units,
+            "median_s": self.median_s,
+            "best_s": self.best_s,
+            "repeats": self.repeats,
+            "units_per_sec": self.rate,
+        }
+
+
+@dataclass
+class BenchReport:
+    """One suite run: per-bench results plus process-level totals."""
+
+    label: str
+    quick: bool
+    benches: Dict[str, BenchResult]
+    wall_seconds: float
+    peak_rss_kb: int
+    events_per_sec: float  # the scenario bench's simulated-events rate
+    skipped: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> Dict:
+        return {
+            "schema": SCHEMA,
+            "label": self.label,
+            "quick": self.quick,
+            "version": __version__,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "wall_seconds": self.wall_seconds,
+            "peak_rss_kb": self.peak_rss_kb,
+            "events_per_sec": self.events_per_sec,
+            "skipped": list(self.skipped),
+            "benches": {name: r.as_dict() for name, r in self.benches.items()},
+        }
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+def _peak_rss_kb() -> int:
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    usage = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KB; macOS reports bytes.
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        usage //= 1024
+    return int(usage)
+
+
+def run_bench(
+    name: str, scale: float = 1.0, repeats: int = 3, **kwargs
+) -> BenchResult:
+    """Run one named bench ``repeats`` times; report the median timing."""
+    try:
+        fn, unit = BENCHES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown bench {name!r}; pick from {sorted(BENCHES)}"
+        ) from None
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be positive, got {scale}")
+    timings: List[float] = []
+    units = 0
+    for _ in range(repeats):
+        units, elapsed = fn(scale, **kwargs) if kwargs else fn(scale)
+        timings.append(elapsed)
+    timings.sort()
+    median = timings[len(timings) // 2]
+    return BenchResult(
+        name=name,
+        unit=unit,
+        units=units,
+        median_s=median,
+        best_s=timings[0],
+        repeats=repeats,
+    )
+
+
+def run_suite(
+    label: str,
+    quick: bool = False,
+    repeats: Optional[int] = None,
+    pool: bool = False,
+    log: Optional[Callable[[str], None]] = None,
+) -> BenchReport:
+    """Run the full suite and return its report.
+
+    ``quick`` shrinks every bench (CI smoke); ``pool`` runs the scenario
+    bench with the packet free-list pool enabled so its effect lands in
+    the trajectory.  Benches that probe for features the current revision
+    lacks are recorded under ``skipped`` instead of failing, which is
+    what lets one suite binary produce comparable before/after reports.
+    """
+    scale = 0.2 if quick else 1.0
+    if repeats is None:
+        repeats = 3 if quick else 5
+
+    def run_or_skip(name: str) -> Optional[BenchResult]:
+        kwargs = {"pool": pool} if name == "scenario_chain4" and pool else {}
+        try:
+            return run_bench(name, scale=scale, repeats=repeats, **kwargs)
+        except NotImplementedError:
+            return None
+
+    results: Dict[str, BenchResult] = {}
+    skipped: List[str] = []
+    started = time.perf_counter()
+    for name in BENCHES:
+        result = run_or_skip(name)
+        if result is None:
+            skipped.append(name)
+            if log is not None:
+                log(f"  {name}: skipped (not supported by this revision)")
+            continue
+        results[name] = result
+        if log is not None:
+            log(
+                f"  {name}: {result.rate:,.0f} {result.unit}/s "
+                f"(median {result.median_s * 1e3:.1f} ms over {repeats} runs)"
+            )
+    wall = time.perf_counter() - started
+    scenario = results.get("scenario_chain4")
+    return BenchReport(
+        label=label,
+        quick=quick,
+        benches=results,
+        wall_seconds=wall,
+        peak_rss_kb=_peak_rss_kb(),
+        events_per_sec=scenario.rate if scenario is not None else 0.0,
+        skipped=skipped,
+    )
+
+
+# ---------------------------------------------------------------------------
+# diffs and the regression gate
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BenchRegression:
+    """One bench whose throughput moved between two reports."""
+
+    name: str
+    unit: str
+    baseline_rate: float
+    current_rate: float
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline_rate <= 0.0:
+            return math.inf
+        return self.current_rate / self.baseline_rate
+
+
+def load_report(path: str) -> Dict:
+    """Load a ``BENCH_*.json`` file, validating the schema version."""
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if payload.get("schema") != SCHEMA:
+        raise ConfigurationError(
+            f"{path}: unsupported bench schema {payload.get('schema')!r} "
+            f"(this build reads schema {SCHEMA})"
+        )
+    return payload
+
+
+def diff_reports(
+    current: Dict, baseline: Dict, threshold: float = 0.30
+) -> Tuple[List[BenchRegression], List[BenchRegression]]:
+    """Compare two report payloads bench by bench.
+
+    Returns ``(regressions, improvements)``: a regression is a common
+    bench whose units/sec dropped by more than ``threshold`` (a
+    fraction); an improvement is any common bench that got faster.
+    Benches present on only one side are ignored — that is what keeps
+    before/after pairs spanning a feature's introduction comparable.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ConfigurationError(
+            f"threshold must be a fraction in (0, 1), got {threshold}"
+        )
+    regressions: List[BenchRegression] = []
+    improvements: List[BenchRegression] = []
+    cur_benches = current.get("benches", {})
+    base_benches = baseline.get("benches", {})
+    for name in sorted(set(cur_benches) & set(base_benches)):
+        cur = cur_benches[name]
+        base = base_benches[name]
+        entry = BenchRegression(
+            name=name,
+            unit=cur.get("unit", "units"),
+            baseline_rate=float(base["units_per_sec"]),
+            current_rate=float(cur["units_per_sec"]),
+        )
+        if entry.ratio < 1.0 - threshold:
+            regressions.append(entry)
+        elif entry.ratio > 1.0:
+            improvements.append(entry)
+    return regressions, improvements
+
+
+# ---------------------------------------------------------------------------
+# presentation
+# ---------------------------------------------------------------------------
+
+
+def format_report_table(report: BenchReport) -> str:
+    """Human-readable per-bench table for the CLI."""
+    rows = [f"{'bench':<24} {'units/sec':>14} {'median':>10} {'unit':>8}"]
+    rows.append("-" * len(rows[0]))
+    rows.extend(
+        f"{name:<24} {result.rate:>14,.0f} "
+        f"{result.median_s * 1e3:>8.1f}ms {result.unit:>8}"
+        for name, result in report.benches.items()
+    )
+    rows.append(
+        f"total wall {report.wall_seconds:.1f} s, "
+        f"peak RSS {report.peak_rss_kb / 1024:.1f} MB, "
+        f"scenario {report.events_per_sec:,.0f} events/s"
+    )
+    return "\n".join(rows)
+
+
+def format_diff_table(
+    regressions: List[BenchRegression], improvements: List[BenchRegression]
+) -> str:
+    lines = [
+        f"  + {entry.name}: {entry.baseline_rate:,.0f} -> "
+        f"{entry.current_rate:,.0f} {entry.unit}/s "
+        f"({(entry.ratio - 1.0) * 100:+.1f}%)"
+        for entry in improvements
+    ]
+    lines.extend(
+        f"  ! {entry.name}: {entry.baseline_rate:,.0f} -> "
+        f"{entry.current_rate:,.0f} {entry.unit}/s "
+        f"({(entry.ratio - 1.0) * 100:+.1f}%)  REGRESSION"
+        for entry in regressions
+    )
+    if not lines:
+        lines.append("  (no common benches moved)")
+    return "\n".join(lines)

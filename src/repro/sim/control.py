@@ -74,7 +74,8 @@ class ControlPlane:
         if self.loss_prob > 0.0 and self._rng.random() < self.loss_prob:
             self.lost += 1
             return
-        self.sim.schedule(self.delay(src, dst), self._deliver, deliver, packet)
+        # Control deliveries are never cancelled: use the no-handle path.
+        self.sim.schedule_fast(self.delay(src, dst), self._deliver, deliver, packet)
 
     def _deliver(self, deliver: Callable[[Packet], None], packet: Packet) -> None:
         self.delivered += 1

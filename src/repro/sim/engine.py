@@ -9,6 +9,18 @@ The engine is callback-based rather than coroutine-based: the hot path of a
 packet simulation executes millions of events, and a heap of tuples with
 direct callbacks is several times faster than generator-based processes
 while remaining easy to reason about.
+
+Two scheduling tiers exist:
+
+* :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` return an
+  :class:`EventHandle` so the caller can cancel the event later.  Use these
+  only when cancellation is actually possible (timers, pacers).
+* :meth:`Simulator.schedule_fast` / :meth:`Simulator.schedule_at_fast` skip
+  the handle allocation entirely and return nothing.  The vast majority of
+  events in a packet simulation — deliveries, source arrivals, feedback —
+  are fire-and-forget, and on the hot path the handle allocation is pure
+  overhead.  Both tiers share one sequence counter, so mixing them keeps
+  same-time ordering deterministic.
 """
 
 from __future__ import annotations
@@ -49,6 +61,10 @@ class PeriodicTask:
     Created via :meth:`Simulator.every`.  The callback runs first at
     ``start + interval`` (not at ``start``) which matches how epoch-based
     components behave: they act on what they observed *during* the epoch.
+
+    The task owns a single :class:`EventHandle` for its whole lifetime:
+    each firing re-arms the same handle via :meth:`Simulator.reschedule`
+    instead of allocating a fresh one per occurrence.
     """
 
     __slots__ = ("_sim", "interval", "_fn", "_handle", "_stopped")
@@ -76,10 +92,16 @@ class PeriodicTask:
             return
         self._fn()
         if not self._stopped:
-            self._handle = self._sim.schedule(self.interval, self._fire)
+            # The handle's heap entry was just consumed by this firing, so
+            # it is free to re-arm in place — no new allocation or handle.
+            self._sim.reschedule(self.interval, self._fire, self._handle)
 
     def stop(self) -> None:
-        """Stop the task; the pending occurrence is cancelled."""
+        """Stop the task; the pending occurrence is cancelled.
+
+        Safe to call from within the task's own callback: ``_fire`` checks
+        ``_stopped`` again after the callback before re-arming.
+        """
         self._stopped = True
         self._handle.cancel()
 
@@ -98,21 +120,29 @@ class Simulator:
         sim.run(until=10.0)
     """
 
-    __slots__ = ("_now", "_heap", "_seq", "_running", "_next_pid", "events_executed")
+    __slots__ = (
+        "now",
+        "_heap",
+        "_seq",
+        "_running",
+        "_next_pid",
+        "events_executed",
+        "packet_pool",
+    )
 
     def __init__(self) -> None:
-        self._now = 0.0
+        #: Current virtual time in seconds.  Read-mostly; components must
+        #: never assign it — only the run loop advances the clock.
+        self.now = 0.0
         self._heap: List[Any] = []
         self._seq = 0
         self._running = False
         self._next_pid = 0
         #: Total number of events executed so far (for micro-benchmarks).
         self.events_executed = 0
-
-    @property
-    def now(self) -> float:
-        """Current virtual time in seconds."""
-        return self._now
+        #: Optional free-list pool consulted by ``Packet.data``/``marker``
+        #: when constructing packets with ``sim=`` (see repro.sim.packet).
+        self.packet_pool = None
 
     def next_packet_id(self) -> int:
         """Allocate the next packet id (1, 2, ...) for this simulation.
@@ -129,15 +159,61 @@ class Simulator:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + delay, fn, *args)
+        time = self.now + delay
+        handle = EventHandle(time)
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, handle, fn, args))
+        return handle
 
     def schedule_at(self, time: float, fn: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` to run at absolute virtual time ``time``."""
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule into the past (t={time} < now={self._now})"
+                f"cannot schedule into the past (t={time} < now={self.now})"
             )
         handle = EventHandle(time)
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, handle, fn, args))
+        return handle
+
+    def schedule_fast(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule a non-cancellable ``fn(*args)`` ``delay`` seconds from now.
+
+        The hot-path variant of :meth:`schedule`: no :class:`EventHandle`
+        is allocated and nothing is returned.  Use for fire-and-forget
+        events (packet deliveries, source arrivals); anything that might
+        need cancelling must go through :meth:`schedule`.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, None, fn, args))
+
+    def schedule_at_fast(self, time: float, fn: Callable[..., None], *args: Any) -> None:
+        """Non-cancellable variant of :meth:`schedule_at` (see :meth:`schedule_fast`)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past (t={time} < now={self.now})"
+            )
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, None, fn, args))
+
+    def reschedule(
+        self, delay: float, fn: Callable[..., None], handle: EventHandle, *args: Any
+    ) -> EventHandle:
+        """Re-arm an already-fired ``handle`` ``delay`` seconds from now.
+
+        The caller must guarantee the handle's previous heap entry has been
+        consumed (it just fired): cancellation is lazy, so re-arming a
+        handle whose old entry is still pending would resurrect that entry.
+        Self-rescheduling components (:class:`PeriodicTask`, pacers) use
+        this to avoid one :class:`EventHandle` allocation per occurrence.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        time = self.now + delay
+        handle.time = time
+        handle.cancelled = False
         self._seq += 1
         heapq.heappush(self._heap, (time, self._seq, handle, fn, args))
         return handle
@@ -160,27 +236,44 @@ class Simulator:
 
         With ``until`` set, execution stops once the next event would fire
         strictly after ``until`` and the clock is advanced to ``until``
-        (events at exactly ``until`` do run).  Without ``until`` the loop
-        drains the heap completely.
+        (events at exactly ``until`` do run).  Cancelled entries at the
+        head of the heap are drained even when they lie beyond ``until``,
+        so repeated bounded runs do not accumulate stale entries.  Without
+        ``until`` the loop drains the heap completely.
         """
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         heap = self._heap
+        pop = heapq.heappop
+        executed = 0
         try:
-            while heap:
-                time, _seq, handle, fn, args = heap[0]
-                if until is not None and time > until:
-                    break
-                heapq.heappop(heap)
-                if handle.cancelled:
-                    continue
-                self._now = time
-                self.events_executed += 1
-                fn(*args)
-            if until is not None and until > self._now:
-                self._now = until
+            if until is None:
+                while heap:
+                    entry = pop(heap)
+                    handle = entry[2]
+                    if handle is not None and handle.cancelled:
+                        continue
+                    self.now = entry[0]
+                    executed += 1
+                    entry[3](*entry[4])
+            else:
+                while heap:
+                    entry = heap[0]
+                    handle = entry[2]
+                    if handle is not None and handle.cancelled:
+                        pop(heap)
+                        continue
+                    if entry[0] > until:
+                        break
+                    pop(heap)
+                    self.now = entry[0]
+                    executed += 1
+                    entry[3](*entry[4])
+                if until > self.now:
+                    self.now = until
         finally:
+            self.events_executed += executed
             self._running = False
 
     def step(self) -> bool:
@@ -190,9 +283,9 @@ class Simulator:
         """
         while self._heap:
             time, _seq, handle, fn, args = heapq.heappop(self._heap)
-            if handle.cancelled:
+            if handle is not None and handle.cancelled:
                 continue
-            self._now = time
+            self.now = time
             self.events_executed += 1
             fn(*args)
             return True
@@ -204,9 +297,14 @@ class Simulator:
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if none is pending."""
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0][0] if self._heap else None
+        heap = self._heap
+        while heap:
+            handle = heap[0][2]
+            if handle is not None and handle.cancelled:
+                heapq.heappop(heap)
+                continue
+            return heap[0][0]
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Simulator(now={self._now:.6f}, pending={len(self._heap)})"
+        return f"Simulator(now={self.now:.6f}, pending={len(self._heap)})"

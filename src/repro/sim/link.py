@@ -8,6 +8,21 @@ transmitter frees up as soon as serialization ends).
 
 Markers have size 0 and therefore serialize instantaneously — they are
 piggybacked on the data stream and consume no capacity (paper §2.2).
+
+Hot path
+--------
+Each data packet costs exactly **one** scheduled event per hop: the
+delivery time is computed at transmit start (``start + tx + prop``) and
+scheduled directly, instead of the classic ``tx_done`` → ``deliver``
+two-event chain.  A separate transmitter wakeup event exists only while
+the queue is non-empty, and markers are folded into the popping loop (zero
+serialization time means they never occupy the transmitter at all).
+
+``send`` and the delivery callback are *rebindable*: with no taps
+installed — the common case in large sweeps — the per-packet path never
+iterates an empty listener list.  Installing a tap rebinds the instance
+attribute to the tapped variant.  Taps must therefore be installed before
+traffic flows (monitors and tracers attach at build time).
 """
 
 from __future__ import annotations
@@ -35,10 +50,13 @@ class Link:
         "bandwidth_pps",
         "prop_delay",
         "queue",
-        "busy",
         "delivered_data",
         "delivered_control",
         "busy_time",
+        "send",
+        "_deliver_cb",
+        "_free_at",
+        "_wake_pending",
         "_drop_listeners",
         "_arrival_taps",
         "_delivery_taps",
@@ -65,13 +83,18 @@ class Link:
         self.bandwidth_pps = bandwidth_pps
         self.prop_delay = prop_delay
         self.queue = queue
-        self.busy = False
         self.delivered_data = 0
         self.delivered_control = 0
         self.busy_time = 0.0
+        #: Absolute time the transmitter finishes its current serialization.
+        self._free_at = 0.0
+        self._wake_pending = False
         self._drop_listeners: list = []
         self._arrival_taps: list = []
         self._delivery_taps: list = []
+        # Rebindable entry points: start on the tap-free fast paths.
+        self.send = self._send_fast
+        self._deliver_cb = self._deliver_fast
 
     # -- observation hooks ------------------------------------------------
 
@@ -87,52 +110,99 @@ class Link:
         Returning ``None``/``False`` lets the packet continue to the queue.
         """
         self._arrival_taps.append(tap)
+        self.send = self._send_tapped
 
     def add_delivery_tap(self, tap: Callable[[Packet, float], None]) -> None:
         """Call ``tap(packet, now)`` when a packet reaches the far end
         (observation only — used by tracing and monitors)."""
         self._delivery_taps.append(tap)
+        self._deliver_cb = self._deliver_tapped
 
     # -- data path ----------------------------------------------------------
 
-    def send(self, packet: Packet) -> bool:
-        """Offer ``packet`` to the link; returns False if it was dropped."""
+    def _send_fast(self, packet: Packet) -> bool:
+        """Offer ``packet`` to the link; returns False if it was dropped.
+
+        Bound as ``self.send`` while no arrival taps are installed.
+        """
         now = self.sim.now
-        for tap in self._arrival_taps:
-            if tap(packet, now):
-                return False
         if not self.queue.push(packet, now):
             for listener in self._drop_listeners:
                 listener(packet, now)
             return False
-        if not self.busy:
-            self._transmit_next()
+        if now >= self._free_at:
+            self._transmit_from(now)
+        elif not self._wake_pending:
+            self._wake_pending = True
+            self.sim.schedule_at_fast(self._free_at, self._wake)
         return True
 
-    def _transmit_next(self) -> None:
-        packet = self.queue.pop(self.sim.now)
-        if packet is None:
-            self.busy = False
+    def _send_tapped(self, packet: Packet) -> bool:
+        """Tap-aware ``send`` variant (bound once an arrival tap exists)."""
+        now = self.sim.now
+        for tap in self._arrival_taps:
+            if tap(packet, now):
+                return False
+        return self._send_fast(packet)
+
+    def _transmit_from(self, start: float) -> None:
+        """Pop and serialize starting at ``start`` (transmitter is free)."""
+        queue = self.queue
+        schedule_at = self.sim.schedule_at_fast
+        prop = self.prop_delay
+        while True:
+            packet = queue.pop(start)
+            if packet is None:
+                return
+            tx = packet.size / self.bandwidth_pps
+            if tx == 0.0:
+                # Markers serialize instantaneously: deliver straight away
+                # and keep popping — they never hold the transmitter.
+                schedule_at(start + prop, self._deliver_cb, packet)
+                continue
+            self.busy_time += tx
+            free_at = start + tx
+            self._free_at = free_at
+            if len(queue) and not self._wake_pending:
+                self._wake_pending = True
+                schedule_at(free_at, self._wake)
+            schedule_at(free_at + prop, self._deliver_cb, packet)
             return
-        self.busy = True
-        tx_time = packet.size / self.bandwidth_pps
-        self.busy_time += tx_time
-        self.sim.schedule(tx_time, self._tx_done, packet)
 
-    def _tx_done(self, packet: Packet) -> None:
-        self.sim.schedule(self.prop_delay, self._deliver, packet)
-        self._transmit_next()
+    def _wake(self) -> None:
+        now = self.sim.now
+        self._wake_pending = False
+        if now >= self._free_at:
+            self._transmit_from(now)
+        elif len(self.queue):
+            # A same-instant send() won the transmitter before this wakeup
+            # fired; re-arm for the new serialization end.
+            self._wake_pending = True
+            self.sim.schedule_at_fast(self._free_at, self._wake)
 
-    def _deliver(self, packet: Packet) -> None:
+    def _deliver_fast(self, packet: Packet) -> None:
         if packet.size > 0.0:
             self.delivered_data += 1
         else:
             self.delivered_control += 1
+        self.dst.receive(packet, self)
+
+    def _deliver_tapped(self, packet: Packet) -> None:
+        if packet.size > 0.0:
+            self.delivered_data += 1
+        else:
+            self.delivered_control += 1
+        now = self.sim.now
         for tap in self._delivery_taps:
-            tap(packet, self.sim.now)
+            tap(packet, now)
         self.dst.receive(packet, self)
 
     # -- metrics --------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        """Whether the transmitter is serializing a packet right now."""
+        return self.sim.now < self._free_at
 
     def utilization(self, now: float) -> float:
         """Fraction of elapsed time the transmitter has been busy."""

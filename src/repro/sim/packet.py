@@ -26,7 +26,7 @@ from typing import TYPE_CHECKING, Optional
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Simulator
 
-__all__ = ["Packet", "PacketKind"]
+__all__ = ["Packet", "PacketKind", "PacketPool"]
 
 #: Fallback id source for packets built without a simulator (unit tests,
 #: interactive probing).  Components always pass ``sim=`` so that packet
@@ -140,6 +140,10 @@ class Packet:
         sim: Optional["Simulator"] = None,
     ) -> "Packet":
         """Create a DATA packet (size 1.0)."""
+        if sim is not None and sim.packet_pool is not None:
+            return sim.packet_pool.acquire(
+                PacketKind.DATA, flow_id, src, dst, 1.0, seq, None, label, now, sim
+            )
         return cls(
             PacketKind.DATA,
             flow_id,
@@ -167,6 +171,10 @@ class Packet:
         ``src`` doubles as the marker's origin edge: the core router sends
         feedback back to ``origin_edge`` without inspecting anything else.
         """
+        if sim is not None and sim.packet_pool is not None:
+            return sim.packet_pool.acquire(
+                PacketKind.MARKER, flow_id, src, dst, 0.0, 0, src, label, now, sim
+            )
         return cls(
             PacketKind.MARKER,
             flow_id,
@@ -210,3 +218,94 @@ class Packet:
             f"Packet(#{self.pid} {self.kind.name} flow={self.flow_id} "
             f"seq={self.seq} {self.src}->{self.dst})"
         )
+
+
+class PacketPool:
+    """Opt-in free list of :class:`Packet` objects.
+
+    Long runs allocate millions of short-lived packets; recycling the
+    objects cuts allocator churn without touching simulation semantics.
+    Enable by assigning a pool to ``Simulator.packet_pool`` (the builder
+    exposes this as ``packet_pool=True``); ``Packet.data``/``marker`` then
+    draw from the pool automatically when called with ``sim=``.
+
+    Determinism: pooling changes *object identity* only, never ids —
+    :meth:`acquire` draws the pid from the owning simulator's counter
+    exactly as a fresh construction would, and reinitializes every slot.
+    Replay tests pin that runs with the pool on and off are byte-identical.
+
+    Safety: :meth:`release` may only be called at a packet's terminal sink
+    (egress local delivery), and nothing may retain a reference past that
+    point.  Components that record packet attributes copy scalars out
+    (tracers, meters), so the edges are the only owners at delivery time.
+    Packets that are dropped or never released are simply garbage-collected.
+    """
+
+    __slots__ = ("max_size", "_free", "allocated", "reused", "released")
+
+    def __init__(self, max_size: int = 4096) -> None:
+        if max_size < 1:
+            raise ValueError(f"pool max_size must be >= 1, got {max_size}")
+        self.max_size = max_size
+        self._free: list = []
+        #: Pool misses: packets freshly constructed because the list was empty.
+        self.allocated = 0
+        #: Pool hits: packets recycled from the free list.
+        self.reused = 0
+        #: Packets returned via :meth:`release` (capped entries still count).
+        self.released = 0
+
+    def acquire(
+        self,
+        kind: PacketKind,
+        flow_id: int,
+        src: str,
+        dst: str,
+        size: float,
+        seq: int,
+        origin_edge: Optional[str],
+        label: float,
+        created_at: float,
+        sim: "Simulator",
+    ) -> Packet:
+        """Take a recycled packet (or build one) and fully reinitialize it."""
+        free = self._free
+        if not free:
+            self.allocated += 1
+            return Packet(
+                kind,
+                flow_id,
+                src,
+                dst,
+                size=size,
+                seq=seq,
+                origin_edge=origin_edge,
+                label=label,
+                created_at=created_at,
+                sim=sim,
+            )
+        self.reused += 1
+        packet = free.pop()
+        packet.pid = sim.next_packet_id()
+        packet.kind = kind
+        packet.flow_id = flow_id
+        packet.size = size
+        packet.seq = seq
+        packet.src = src
+        packet.dst = dst
+        packet.origin_edge = origin_edge
+        packet.label = label
+        packet.feedback_from = None
+        packet.created_at = created_at
+        packet.ecn = False
+        packet.micro_id = 0
+        return packet
+
+    def release(self, packet: Packet) -> None:
+        """Return a packet whose journey ended; caller must drop its reference."""
+        self.released += 1
+        if len(self._free) < self.max_size:
+            self._free.append(packet)
+
+    def __len__(self) -> int:
+        return len(self._free)

@@ -52,7 +52,21 @@ class FifoQueue:
     Subclasses decide the admission policy by overriding :meth:`admit`.
     ``capacity`` is in data packets; packets of size 0 (markers) are always
     admitted and never counted toward occupancy.
+
+    The base class uses ``__slots__`` (queues sit on the per-packet hot
+    path); subclasses that declare extra attributes without their own
+    ``__slots__`` simply fall back to a ``__dict__`` — nothing breaks.
     """
+
+    __slots__ = (
+        "capacity",
+        "_items",
+        "_occupancy",
+        "stats",
+        "_integral",
+        "_last_time",
+        "_window_start",
+    )
 
     def __init__(self, capacity: float) -> None:
         if capacity <= 0:
@@ -143,6 +157,8 @@ class FifoQueue:
 
 class DropTailQueue(FifoQueue):
     """The classic finite FIFO buffer: admit until full, then tail-drop."""
+
+    __slots__ = ()
 
     def admit(self, packet: Packet, now: float) -> bool:
         return self._occupancy + packet.size <= self.capacity

@@ -47,7 +47,11 @@ Deposit = Callable[[int], None]
 
 
 class SourceModel:
-    """Base class: a process that deposits packets into an edge backlog."""
+    """Base class: a process that deposits packets into an edge backlog.
+
+    Sources stop via the ``_running`` flag rather than cancelling events,
+    so subclasses schedule with the engine's no-handle fast path.
+    """
 
     def __init__(self) -> None:
         self._sim: Optional[Simulator] = None
@@ -104,7 +108,7 @@ class PoissonSource(SourceModel):
     def _schedule_next(self) -> None:
         assert self._sim is not None and self._rng is not None
         gap = self._rng.expovariate(self.mean_rate)
-        self._sim.schedule(gap, self._arrive)
+        self._sim.schedule_fast(gap, self._arrive)
 
     def _arrive(self) -> None:
         if not self._running:
@@ -154,10 +158,10 @@ class OnOffSource(SourceModel):
         assert self._sim is not None and self._rng is not None
         if self._sim.now >= self._on_until:
             off = self._rng.expovariate(1.0 / self.mean_off)
-            self._sim.schedule(off, self._enter_on)
+            self._sim.schedule_fast(off, self._enter_on)
             return
         self._offer(1)
-        self._sim.schedule(1.0 / self.peak_rate, self._emit_burst_packet)
+        self._sim.schedule_fast(1.0 / self.peak_rate, self._emit_burst_packet)
 
 
 class FiniteTransferSource(SourceModel):
@@ -192,7 +196,7 @@ class FiniteTransferSource(SourceModel):
         self.remaining -= 1
         if self.remaining > 0:
             assert self._sim is not None
-            self._sim.schedule(1.0 / self.peak_rate, self._next)
+            self._sim.schedule_fast(1.0 / self.peak_rate, self._next)
 
 
 @dataclass(frozen=True)

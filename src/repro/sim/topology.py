@@ -162,8 +162,7 @@ class Topology:
     def path_nodes(self, src: str, dst: str) -> List[str]:
         """Node names visited by the shortest path, endpoints included."""
         names = [src]
-        for link in self.path_links(src, dst):
-            names.append(link.dst.name)
+        names.extend(link.dst.name for link in self.path_links(src, dst))
         return names
 
     # -- stats ---------------------------------------------------------

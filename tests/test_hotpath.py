@@ -1,0 +1,409 @@
+"""Tests for the hot-path overhaul: fast-path scheduling, handle reuse,
+bounded-run heap hygiene, the rebindable link datapath, and the opt-in
+packet pool's byte-identical replay guarantee."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.node import Node
+from repro.sim.packet import Packet, PacketKind, PacketPool
+from repro.sim.queues import DropTailQueue
+
+
+# ---------------------------------------------------------------------------
+# fast-path scheduling
+# ---------------------------------------------------------------------------
+
+
+def test_schedule_fast_runs_and_returns_nothing(sim):
+    fired = []
+    assert sim.schedule_fast(1.0, fired.append, "x") is None
+    sim.run()
+    assert fired == ["x"]
+    assert sim.now == 1.0
+
+
+def test_schedule_at_fast_rejects_past_times(sim):
+    sim.schedule_fast(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at_fast(0.5, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_fast(-0.1, lambda: None)
+
+
+def test_same_timestamp_ordering_mixes_fast_and_handle_paths(sim):
+    """Insertion order decides ties regardless of which tier scheduled."""
+    order = []
+    sim.schedule(1.0, order.append, "handle-0")
+    sim.schedule_fast(1.0, order.append, "fast-1")
+    sim.schedule(1.0, order.append, "handle-2")
+    sim.schedule_at_fast(1.0, order.append, "fast-3")
+    sim.schedule_at(1.0, order.append, "handle-4")
+    sim.run()
+    assert order == ["handle-0", "fast-1", "handle-2", "fast-3", "handle-4"]
+
+
+def test_step_executes_fast_path_events(sim):
+    fired = []
+    sim.schedule_fast(1.0, fired.append, "a")
+    assert sim.step() is True
+    assert fired == ["a"]
+    assert sim.step() is False
+
+
+def test_peek_time_sees_fast_path_events(sim):
+    sim.schedule_fast(2.5, lambda: None)
+    assert sim.peek_time() == 2.5
+
+
+# ---------------------------------------------------------------------------
+# reschedule (handle reuse)
+# ---------------------------------------------------------------------------
+
+
+def test_reschedule_reuses_the_same_handle_object(sim):
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "first")
+    sim.run()
+    again = sim.reschedule(1.0, fired.append, handle, "second")
+    assert again is handle
+    assert handle.time == 2.0
+    sim.run()
+    assert fired == ["first", "second"]
+
+
+def test_reschedule_revives_a_cancelled_consumed_handle(sim):
+    """stop()-style cancellation after firing must not poison reuse."""
+    fired = []
+    handle = sim.schedule(1.0, fired.append, 1)
+    sim.run()
+    handle.cancel()  # its entry is already consumed; flag is stale
+    sim.reschedule(1.0, fired.append, handle, 2)
+    sim.run()
+    assert fired == [1, 2]
+
+
+def test_periodic_task_fires_every_interval(sim):
+    times = []
+    task = sim.every(1.0, lambda: times.append(sim.now))
+    sim.run(until=4.5)
+    assert times == [1.0, 2.0, 3.0, 4.0]
+    task.stop()
+    sim.run(until=10.0)
+    assert times == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_periodic_task_stop_from_inside_its_own_callback(sim):
+    """stop() racing _fire: stopping mid-callback must not re-arm."""
+    fired = []
+
+    def tick():
+        fired.append(sim.now)
+        task.stop()
+
+    task = sim.every(1.0, tick)
+    sim.run(until=10.0)
+    assert fired == [1.0]
+    assert task.stopped
+    assert sim.pending() == 0
+
+
+def test_periodic_task_stop_then_unrelated_events_continue(sim):
+    fired = []
+    task = sim.every(1.0, lambda: fired.append("tick"))
+    sim.schedule(3.5, fired.append, "other")
+    sim.run(until=1.5)
+    task.stop()
+    sim.run(until=5.0)
+    assert fired == ["tick", "other"]
+
+
+# ---------------------------------------------------------------------------
+# bounded runs: cancelled-head hygiene, step interleaving
+# ---------------------------------------------------------------------------
+
+
+def test_run_until_drains_cancelled_heads_beyond_horizon(sim):
+    """Stale cancelled entries must not pile up across bounded runs."""
+    handles = [sim.schedule(10.0 + i, lambda: None) for i in range(50)]
+    for handle in handles:
+        handle.cancel()
+    sim.run(until=1.0)
+    assert sim.pending() == 0
+    assert sim.now == 1.0
+
+
+def test_repeated_bounded_runs_do_not_accumulate_stale_entries(sim):
+    for round_no in range(20):
+        handle = sim.schedule(1000.0, lambda: None)
+        handle.cancel()
+        sim.run(until=float(round_no + 1))
+        assert sim.pending() == 0
+
+
+def test_step_interleaved_with_bounded_run(sim):
+    order = []
+    for t in (1.0, 2.0, 3.0, 4.0):
+        sim.schedule_fast(t, order.append, t)
+    sim.run(until=2.0)
+    assert order == [1.0, 2.0]
+    assert sim.now == 2.0
+    assert sim.step() is True  # executes the t=3 event past the old horizon
+    assert order == [1.0, 2.0, 3.0]
+    assert sim.now == 3.0
+    sim.run(until=10.0)
+    assert order == [1.0, 2.0, 3.0, 4.0]
+    assert sim.now == 10.0
+
+
+def test_run_not_reentrant_still_enforced(sim):
+    def nested():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule_fast(1.0, nested)
+    sim.run()
+
+
+# ---------------------------------------------------------------------------
+# link datapath: rebindable fast paths, single event per hop
+# ---------------------------------------------------------------------------
+
+
+class _Sink(Node):
+    def __init__(self, name="B"):
+        super().__init__(name)
+        self.received = []
+
+    def receive(self, packet, link):
+        self.received.append((packet, link.sim.now))
+
+
+def _link(sim, sink, bw=100.0, prop=0.01, capacity=10):
+    return Link(sim, "A->B", "A", sink, bw, prop, DropTailQueue(capacity))
+
+
+def test_link_send_rebinds_on_arrival_tap(sim):
+    sink = _Sink()
+    link = _link(sim, sink)
+    assert link.send.__func__ is Link._send_fast
+    link.add_arrival_tap(lambda packet, now: None)
+    assert link.send.__func__ is Link._send_tapped
+
+
+def test_link_delivery_rebinds_on_delivery_tap(sim):
+    sink = _Sink()
+    link = _link(sim, sink)
+    seen = []
+    link.add_delivery_tap(lambda packet, now: seen.append(packet.pid))
+    link.send(Packet.data(1, "A", "B", seq=0, now=0.0, sim=sim))
+    sim.run()
+    assert len(sink.received) == 1
+    assert seen == [sink.received[0][0].pid]
+
+
+def test_link_consuming_arrival_tap_blocks_packet(sim):
+    sink = _Sink()
+    link = _link(sim, sink)
+    link.add_arrival_tap(lambda packet, now: packet.seq == 0)
+    assert link.send(Packet.data(1, "A", "B", seq=0, now=0.0, sim=sim)) is False
+    assert link.send(Packet.data(1, "A", "B", seq=1, now=0.0, sim=sim)) is True
+    sim.run()
+    assert [p.seq for p, _ in sink.received] == [1]
+
+
+def test_link_one_event_per_data_packet_hop(sim):
+    """A back-to-back burst costs one delivery event per packet plus one
+    transmitter wakeup per serialization gap — not two events per hop."""
+    sink = _Sink()
+    link = _link(sim, sink, bw=100.0, prop=0.0, capacity=100)
+    n = 10
+    for i in range(n):
+        link.send(Packet.data(1, "A", "B", seq=i, now=0.0, sim=sim))
+    sim.run()
+    assert len(sink.received) == n
+    # n deliveries + (n - 1) wakeups (the first packet transmits inline).
+    assert sim.events_executed == 2 * n - 1
+
+
+def test_link_busy_property_tracks_serialization(sim):
+    sink = _Sink()
+    link = _link(sim, sink, bw=10.0, prop=0.0)
+    assert link.busy is False
+    link.send(Packet.data(1, "A", "B", seq=0, now=0.0, sim=sim))
+    assert link.busy is True  # serializing for 0.1 s
+    sim.run()
+    assert link.busy is False
+    assert link.busy_time == pytest.approx(0.1)
+
+
+def test_link_same_instant_send_races_wakeup(sim):
+    """A send scheduled at exactly the transmitter-free instant may run
+    before the pending wakeup; delivery order must stay FIFO."""
+    sink = _Sink()
+    link = _link(sim, sink, bw=10.0, prop=0.0, capacity=10)
+
+    def send(seq):
+        link.send(Packet.data(1, "A", "B", seq=seq, now=sim.now, sim=sim))
+
+    send(0)  # transmits 0.0 - 0.1
+    send(1)  # queued; wakeup armed at 0.1
+    sim.schedule_fast(0.1, send, 2)  # fires before the wakeup (earlier seq)
+    sim.run()
+    assert [p.seq for p, _ in sink.received] == [0, 1, 2]
+    assert [t for _, t in sink.received] == pytest.approx([0.1, 0.2, 0.3])
+
+
+def test_link_markers_keep_fifo_position_and_zero_time(sim):
+    sink = _Sink()
+    link = _link(sim, sink, bw=10.0, prop=0.0, capacity=10)
+    link.send(Packet.data(1, "A", "B", seq=0, now=0.0, sim=sim))
+    link.send(Packet.marker(1, "A", "B", label=1.0, now=0.0, sim=sim))
+    link.send(Packet.data(1, "A", "B", seq=1, now=0.0, sim=sim))
+    sim.run()
+    kinds = [p.kind for p, _ in sink.received]
+    times = [t for _, t in sink.received]
+    assert kinds == [PacketKind.DATA, PacketKind.MARKER, PacketKind.DATA]
+    assert times == pytest.approx([0.1, 0.1, 0.2])
+
+
+# ---------------------------------------------------------------------------
+# packet pool
+# ---------------------------------------------------------------------------
+
+
+def test_pool_acquire_reinitializes_every_field(sim):
+    pool = PacketPool()
+    packet = Packet.data(7, "A", "B", seq=3, now=1.0, sim=sim)
+    packet.ecn = True
+    packet.micro_id = 9
+    packet.feedback_from = "L1"
+    pool.release(packet)
+    sim.packet_pool = pool
+    recycled = Packet.data(8, "C", "D", seq=0, now=2.0, sim=sim)
+    assert recycled is packet  # same object, fully reset
+    assert recycled.flow_id == 8
+    assert recycled.ecn is False
+    assert recycled.micro_id == 0
+    assert recycled.feedback_from is None
+    assert recycled.origin_edge is None
+    assert recycled.created_at == 2.0
+
+
+def test_pool_pids_match_fresh_allocation(sim):
+    sim.packet_pool = PacketPool()
+    first = Packet.data(1, "A", "B", seq=0, now=0.0, sim=sim)
+    pid = first.pid
+    sim.packet_pool.release(first)
+    second = Packet.data(1, "A", "B", seq=1, now=0.0, sim=sim)
+    assert second.pid == pid + 1
+
+
+def test_pool_caps_free_list_size():
+    pool = PacketPool(max_size=2)
+    sim = Simulator()
+    for i in range(5):
+        pool.release(Packet.data(1, "A", "B", seq=i, now=0.0, sim=sim))
+    assert len(pool) == 2
+    assert pool.released == 5
+
+
+def test_pool_rejects_nonpositive_max_size():
+    with pytest.raises(ValueError):
+        PacketPool(max_size=0)
+
+
+def _chain_fingerprint(packet_pool):
+    from repro.experiments.builder import CloudBuilder
+    from repro.experiments.scenarios import WEIGHTS_41, topology1_flows
+    from repro.experiments.topospec import TopologySpec
+
+    builder = CloudBuilder(
+        TopologySpec.chain(4), scheme="corelite", seed=3, packet_pool=packet_pool
+    )
+    builder.add_flows(topology1_flows(WEIGHTS_41, {}))
+    cloud = builder.build()
+    result = cloud.run(until=12.0)
+    fingerprint = []
+    for flow_id, record in sorted(result.flows.items()):
+        fingerprint.append(
+            (
+                flow_id,
+                record.delivered,
+                record.losses,
+                tuple(record.rate_series.values),
+                tuple(record.throughput_series.values),
+                tuple(record.cumulative_series.values),
+            )
+        )
+    return fingerprint, cloud.sim._next_pid, cloud.sim.events_executed, cloud
+
+
+def test_pool_replay_is_byte_identical():
+    """The figure-level outputs, packet-id counter, and event count must
+    not change when pooling is enabled — the pool recycles objects, never
+    semantics."""
+    plain = _chain_fingerprint(packet_pool=False)
+    pooled = _chain_fingerprint(packet_pool=True)
+    assert pooled[0] == plain[0]
+    assert pooled[1] == plain[1]
+    assert pooled[2] == plain[2]
+    pool = pooled[3].sim.packet_pool
+    assert pool is not None and pool.reused > 0  # the pool actually engaged
+
+
+def test_pool_replay_csfq_scheme():
+    from repro.experiments.builder import CloudBuilder
+    from repro.experiments.topospec import FlowPathSpec, TopologySpec
+
+    def run(packet_pool):
+        builder = CloudBuilder(
+            TopologySpec.chain(2), scheme="csfq", seed=1, packet_pool=packet_pool
+        )
+        builder.add_flow(FlowPathSpec(1, weight=2.0, ingress_core="C1", egress_core="C2"))
+        builder.add_flow(FlowPathSpec(2, weight=1.0, ingress_core="C1", egress_core="C2"))
+        cloud = builder.build()
+        result = cloud.run(until=12.0)
+        return {
+            flow_id: (record.delivered, record.losses)
+            for flow_id, record in result.flows.items()
+        }, cloud.sim._next_pid
+
+    assert run(True) == run(False)
+
+
+# ---------------------------------------------------------------------------
+# per-simulation packet ids (no global-counter fallback)
+# ---------------------------------------------------------------------------
+
+
+def test_cloud_run_never_touches_global_packet_counter(monkeypatch):
+    """Every component must pass ``sim=``: a cloud run may not advance the
+    process-global fallback id counter even once."""
+    from repro.experiments.builder import CloudBuilder
+    from repro.experiments.topospec import FlowPathSpec, TopologySpec
+    from repro.sim import packet as packet_mod
+
+    class _Tripwire:
+        def __init__(self):
+            self.calls = 0
+
+        def __next__(self):
+            self.calls += 1
+            return 10**9 + self.calls
+
+    tripwire = _Tripwire()
+    monkeypatch.setattr(packet_mod, "_packet_ids", tripwire)
+
+    for scheme in ("corelite", "csfq"):
+        builder = CloudBuilder(TopologySpec.chain(2), scheme=scheme, seed=0)
+        builder.add_flow(FlowPathSpec(1, weight=1.0, ingress_core="C1", egress_core="C2"))
+        builder.add_flow(FlowPathSpec(2, weight=3.0, ingress_core="C1", egress_core="C2"))
+        cloud = builder.build()
+        result = cloud.run(until=8.0)
+        assert sum(r.delivered for r in result.flows.values()) > 0
+
+    assert tripwire.calls == 0

@@ -1,0 +1,218 @@
+"""Tests for the perf harness: bench runner, report round trip, diff gate,
+and the ``corelite bench`` CLI subcommand."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf import (
+    BENCHES,
+    BenchRegression,
+    BenchReport,
+    BenchResult,
+    SCHEMA,
+    diff_reports,
+    format_diff_table,
+    format_report_table,
+    load_report,
+    run_bench,
+    run_suite,
+)
+
+
+TINY = 0.02  # shrink every bench far below its default size
+
+
+def test_run_bench_returns_timed_result():
+    result = run_bench("event_loop", scale=TINY, repeats=2)
+    assert result.name == "event_loop"
+    assert result.unit == "events"
+    assert result.units > 0
+    assert result.median_s > 0.0
+    assert result.best_s <= result.median_s
+    assert result.rate > 0.0
+
+
+def test_run_bench_unknown_name_and_bad_params():
+    with pytest.raises(ConfigurationError):
+        run_bench("no_such_bench")
+    with pytest.raises(ConfigurationError):
+        run_bench("event_loop", repeats=0)
+    with pytest.raises(ConfigurationError):
+        run_bench("event_loop", scale=0.0)
+
+
+def test_every_registered_bench_runs_at_tiny_scale():
+    for name in BENCHES:
+        result = run_bench(name, scale=TINY, repeats=1)
+        assert result.units > 0, name
+
+
+def test_scenario_bench_pool_mode_runs():
+    result = run_bench("scenario_chain4", scale=TINY, repeats=1, pool=True)
+    assert result.unit == "events"
+    assert result.units > 0
+
+
+def test_report_round_trip(tmp_path):
+    report = run_suite("unit", quick=True, repeats=1)
+    path = tmp_path / "BENCH_unit.json"
+    report.write(str(path))
+    payload = load_report(str(path))
+    assert payload["schema"] == SCHEMA
+    assert payload["label"] == "unit"
+    assert payload["quick"] is True
+    assert payload["peak_rss_kb"] > 0
+    assert payload["events_per_sec"] > 0
+    assert set(payload["benches"]) == set(BENCHES) - set(payload["skipped"])
+    for entry in payload["benches"].values():
+        assert entry["units_per_sec"] > 0
+    # The table renderers must accept the same report without blowing up.
+    assert "units/sec" in format_report_table(report)
+
+
+def test_load_report_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "BENCH_bad.json"
+    path.write_text(json.dumps({"schema": 999, "benches": {}}))
+    with pytest.raises(ConfigurationError):
+        load_report(str(path))
+
+
+def _payload(rates):
+    return {
+        "schema": SCHEMA,
+        "benches": {
+            name: {"unit": "events", "units_per_sec": rate}
+            for name, rate in rates.items()
+        },
+    }
+
+
+def test_diff_reports_flags_regressions_and_improvements():
+    baseline = _payload({"a": 100.0, "b": 100.0, "c": 100.0, "only_base": 50.0})
+    current = _payload({"a": 60.0, "b": 150.0, "c": 95.0, "only_cur": 50.0})
+    regressions, improvements = diff_reports(current, baseline, threshold=0.30)
+    assert [r.name for r in regressions] == ["a"]
+    assert regressions[0].ratio == pytest.approx(0.6)
+    assert [r.name for r in improvements] == ["b"]
+    # One-sided benches are ignored; mild slowdowns below threshold too.
+    table = format_diff_table(regressions, improvements)
+    assert "REGRESSION" in table and "+50.0%" in table
+
+
+def test_diff_reports_validates_threshold():
+    with pytest.raises(ConfigurationError):
+        diff_reports(_payload({}), _payload({}), threshold=0.0)
+    with pytest.raises(ConfigurationError):
+        diff_reports(_payload({}), _payload({}), threshold=1.5)
+
+
+def test_bench_regression_ratio_guards_zero_baseline():
+    entry = BenchRegression("x", "events", baseline_rate=0.0, current_rate=10.0)
+    assert entry.ratio == float("inf")
+
+
+def test_bench_result_rate_guards_zero_median():
+    result = BenchResult("x", "events", units=10, median_s=0.0, best_s=0.0, repeats=1)
+    assert result.rate == float("inf")
+
+
+# ---------------------------------------------------------------------------
+# CLI integration
+# ---------------------------------------------------------------------------
+
+
+def _run_cli(argv):
+    from repro.cli import main
+
+    return main(argv)
+
+
+def test_cli_bench_writes_report_and_gates(tmp_path, capsys):
+    out_dir = tmp_path / "results"
+    _run_cli(
+        [
+            "bench",
+            "--quick",
+            "--repeats",
+            "1",
+            "--label",
+            "t1",
+            "--out-dir",
+            str(out_dir),
+        ]
+    )
+    report_path = out_dir / "BENCH_t1.json"
+    assert report_path.exists()
+    payload = load_report(str(report_path))
+
+    # A second run diffed against the first must pass the gate (same box,
+    # same code) and print a comparison.
+    _run_cli(
+        [
+            "bench",
+            "--quick",
+            "--repeats",
+            "1",
+            "--label",
+            "t2",
+            "--out-dir",
+            str(out_dir),
+            "--baseline",
+            str(report_path),
+            "--threshold",
+            "0.9",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert "BENCH_t2.json" in captured.out
+    assert "vs" in captured.out
+
+    # Against an impossibly fast fabricated baseline the gate must trip.
+    fast = dict(payload)
+    fast["benches"] = {
+        name: {**entry, "units_per_sec": entry["units_per_sec"] * 1e6}
+        for name, entry in payload["benches"].items()
+    }
+    fake = tmp_path / "BENCH_fake.json"
+    fake.write_text(json.dumps(fast))
+    with pytest.raises(SystemExit):
+        _run_cli(
+            [
+                "bench",
+                "--quick",
+                "--repeats",
+                "1",
+                "--label",
+                "t3",
+                "--out-dir",
+                str(out_dir),
+                "--baseline",
+                str(fake),
+            ]
+        )
+
+
+def test_cli_bench_profile_writes_dump(tmp_path):
+    out_dir = tmp_path / "results"
+    profile = tmp_path / "bench.prof"
+    _run_cli(
+        [
+            "bench",
+            "--quick",
+            "--repeats",
+            "1",
+            "--label",
+            "prof",
+            "--out-dir",
+            str(out_dir),
+            "--profile",
+            str(profile),
+        ]
+    )
+    assert profile.exists() and profile.stat().st_size > 0
+    import pstats
+
+    stats = pstats.Stats(str(profile))
+    assert stats.total_calls > 0
