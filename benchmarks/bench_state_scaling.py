@@ -14,13 +14,16 @@ and records the *peak per-flow state at the bottleneck router*:
 (Corelite's marker-cache variant is also measured: its history is bounded
 by a config constant, independent of the flow count.)
 
-The 20 (flow count x scheme) measurement points are independent
+The (flow count x scheme) measurement points are independent
 simulations, so ``REPRO_BENCH_WORKERS>1`` fans them over a process pool
 (:func:`repro.experiments.parallel.pool_map`); each point's peak-state
-number is identical either way.
+number is identical either way.  ``REPRO_BENCH_MAX_FLOWS`` extends the
+flow-count ladder past the default 32 (e.g. ``=256`` adds 64/128/256
+points) — the O(1)-vs-O(n) gap is most dramatic at flow-scale.
 """
 
 import math
+import os
 
 import pytest
 
@@ -33,7 +36,16 @@ from repro.experiments.parallel import pool_map
 from repro.experiments.report import format_table
 from repro.experiments.scenarios import startup_flows
 
-FLOW_COUNTS = (4, 8, 16, 32)
+_FLOW_LADDER = (4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+def _flow_counts():
+    """Doubling ladder up to ``REPRO_BENCH_MAX_FLOWS`` (default 32)."""
+    max_flows = int(os.environ.get("REPRO_BENCH_MAX_FLOWS", "32"))
+    return tuple(n for n in _FLOW_LADDER if n <= max_flows) or _FLOW_LADDER[:1]
+
+
+FLOW_COUNTS = _flow_counts()
 DURATION = 30.0
 SCHEMES = ("corelite-selective", "corelite-cache", "csfq", "wfq", "fred")
 

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.microflows import MicroFlowMux
@@ -39,6 +39,10 @@ from repro.sim.node import Router
 from repro.sim.packet import Packet, PacketKind
 
 __all__ = ["FlowAttachment", "CoreliteEdge"]
+
+#: Localized enum members for the per-packet egress tests.
+_DATA = PacketKind.DATA
+_MARKER = PacketKind.MARKER
 
 
 @dataclass(frozen=True)
@@ -88,6 +92,7 @@ class _IngressFlow:
         "injector",
         "seq",
         "feedback",
+        "feedback_peak",
         "active",
         "started_times",
         "backlog",
@@ -111,6 +116,10 @@ class _IngressFlow:
         self.seq = 0
         #: feedback marker counts in the current epoch, keyed by core link.
         self.feedback: Dict[str, int] = {}
+        #: Running max of the epoch's per-link counts, so the adaptation
+        #: sweep never rebuilds or scans the dict (counts only grow within
+        #: an epoch, so the running max equals ``max(feedback.values())``).
+        self.feedback_peak = 0
         self.active = False
         self.started_times = 0
         #: None = always backlogged; otherwise packets awaiting shaping.
@@ -170,8 +179,19 @@ class CoreliteEdge(Router):
         self.sim = sim
         self.config = config
         self._epoch_offset = epoch_offset
-        self._ingress: Dict[int, _IngressFlow] = {}
-        self._egress: Dict[int, _EgressFlow] = {}
+        # Slot-indexed flow tables: the id -> slot maps are touched once
+        # per control-plane packet, while the per-epoch adaptation sweep
+        # and the per-packet egress path index dense lists.  Slots are
+        # assigned at attach time and never reused.
+        self._ingress_index: Dict[int, int] = {}
+        self._ingress_flows: List[_IngressFlow] = []
+        self._egress_index: Dict[int, int] = {}
+        self._egress_flows: List[_EgressFlow] = []
+        #: Dense attach-ordered sweep list of the currently active ingress
+        #: flows; rebuilt lazily after any start/stop transition so the
+        #: epoch sweep does not re-test ``active`` per flow per epoch.
+        self._active_ingress: List[_IngressFlow] = []
+        self._active_dirty = False
         self._epoch_task: Optional[PeriodicTask] = None
         #: Feedback packets that arrived for unknown/stopped flows.
         self.stray_feedback = 0
@@ -182,7 +202,7 @@ class CoreliteEdge(Router):
 
     def attach_flow(self, attachment: FlowAttachment) -> None:
         """Declare a flow whose ingress is this edge (it starts stopped)."""
-        if attachment.flow_id in self._ingress:
+        if attachment.flow_id in self._ingress_index:
             raise FlowError(f"flow {attachment.flow_id} already attached at {self.name}")
         controller = RateController(
             self.config,
@@ -198,7 +218,8 @@ class CoreliteEdge(Router):
             lambda s=state: self._emit(s),
             burst=self.config.shaper_burst,
         )
-        self._ingress[attachment.flow_id] = state
+        self._ingress_index[attachment.flow_id] = len(self._ingress_flows)
+        self._ingress_flows.append(state)
         if self._epoch_task is None:
             self._epoch_task = self.sim.every(
                 self.config.edge_epoch, self._epoch, first_delay=self._epoch_offset
@@ -210,11 +231,13 @@ class CoreliteEdge(Router):
         if state.active:
             return
         state.active = True
+        self._active_dirty = True
         state.started_times += 1
         if state.started_times > 1:
             state.controller.restart(self.sim.now)
             state.injector.reset()
         state.feedback.clear()
+        state.feedback_peak = 0
         state.pacer.set_rate(state.controller.rate)
         state.pacer.start()
 
@@ -224,18 +247,23 @@ class CoreliteEdge(Router):
         if not state.active:
             return
         state.active = False
+        self._active_dirty = True
         state.pacer.stop()
 
     def receive_feedback(self, packet: Packet) -> None:
         """Control-plane entry point for feedback markers from the core."""
         if packet.kind != PacketKind.FEEDBACK:
             raise FlowError(f"{self.name}: non-feedback packet on control plane: {packet!r}")
-        state = self._ingress.get(packet.flow_id)
+        slot = self._ingress_index.get(packet.flow_id)
+        state = self._ingress_flows[slot] if slot is not None else None
         if state is None or not state.active:
             self.stray_feedback += 1
             return
         source = packet.feedback_from or "?"
-        state.feedback[source] = state.feedback.get(source, 0) + 1
+        count = state.feedback.get(source, 0) + 1
+        state.feedback[source] = count
+        if count > state.feedback_peak:
+            state.feedback_peak = count
 
     def allotted_rate(self, flow_id: int) -> float:
         """The flow's current allowed rate ``bg(f)`` (the paper's y-axis)."""
@@ -246,11 +274,11 @@ class CoreliteEdge(Router):
         return self._ingress_state(flow_id).active
 
     def ingress_flow_ids(self) -> Tuple[int, ...]:
-        return tuple(self._ingress)
+        return tuple(self._ingress_index)
 
     def _ingress_state(self, flow_id: int) -> _IngressFlow:
         try:
-            return self._ingress[flow_id]
+            return self._ingress_flows[self._ingress_index[flow_id]]
         except KeyError:
             raise FlowError(f"{self.name}: unknown ingress flow {flow_id}") from None
 
@@ -361,13 +389,19 @@ class CoreliteEdge(Router):
     def _epoch(self) -> None:
         """Edge epoch: run rate adaptation on every active ingress flow."""
         now = self.sim.now
-        for state in self._ingress.values():
-            if not state.active:
-                continue
+        if self._active_dirty:
+            # Attach order, not start order: the sweep must visit flows in
+            # the same order the old full-table scan did, so replays keep
+            # their event sequence.
+            self._active_ingress = [s for s in self._ingress_flows if s.active]
+            self._active_dirty = False
+        for state in self._active_ingress:
             # React to the bottleneck: the max feedback from any single
             # core link, not the sum across congested hops (paper §2.2).
-            m = max(state.feedback.values()) if state.feedback else 0
-            state.feedback.clear()
+            m = state.feedback_peak
+            if m:
+                state.feedback.clear()
+                state.feedback_peak = 0
             new_rate = state.controller.on_epoch(m, now)
             state.pacer.set_rate(new_rate)
 
@@ -375,9 +409,10 @@ class CoreliteEdge(Router):
 
     def expect_flow(self, flow_id: int) -> None:
         """Declare a flow whose egress is this edge."""
-        if flow_id in self._egress:
+        if flow_id in self._egress_index:
             raise FlowError(f"flow {flow_id} already expected at {self.name}")
-        self._egress[flow_id] = _EgressFlow()
+        self._egress_index[flow_id] = len(self._egress_flows)
+        self._egress_flows.append(_EgressFlow())
 
     def delivered(self, flow_id: int) -> int:
         """Cumulative data packets delivered for ``flow_id`` (Figure 4)."""
@@ -401,24 +436,25 @@ class CoreliteEdge(Router):
 
     def _egress_state(self, flow_id: int) -> _EgressFlow:
         try:
-            return self._egress[flow_id]
+            return self._egress_flows[self._egress_index[flow_id]]
         except KeyError:
             raise FlowError(f"{self.name}: unknown egress flow {flow_id}") from None
 
     def _deliver_local(self, packet: Packet) -> None:
-        state = self._egress.get(packet.flow_id)
+        slot = self._egress_index.get(packet.flow_id)
+        state = self._egress_flows[slot] if slot is not None else None
         if state is None:
             raise FlowError(
                 f"{self.name}: packet for unexpected flow {packet.flow_id} "
                 f"(call expect_flow first)"
             )
-        if packet.kind == PacketKind.MARKER:
+        if packet.kind is _MARKER:
             state.markers_received += 1
             pool = self.sim.packet_pool
             if pool is not None:
                 pool.release(packet)
             return
-        if packet.kind != PacketKind.DATA:
+        if packet.kind is not _DATA:
             return
         if state.expected_seq is not None and packet.seq > state.expected_seq:
             state.lost += packet.seq - state.expected_seq
@@ -441,17 +477,20 @@ class CoreliteEdge(Router):
         if packet.dst == self.name:
             self._deliver_local(packet)
             return
-        if packet.kind == PacketKind.DATA:
+        if packet.kind is _DATA:
             # Ingress role for external flows: host-originated packets are
             # buffered and shaped rather than forwarded at arrival rate.
-            ingress_state = self._ingress.get(packet.flow_id)
-            if ingress_state is not None and ingress_state.ext_queue is not None:
-                self._shape_in(ingress_state, packet)
-                return
+            in_slot = self._ingress_index.get(packet.flow_id)
+            if in_slot is not None:
+                ingress_state = self._ingress_flows[in_slot]
+                if ingress_state.ext_queue is not None:
+                    self._shape_in(ingress_state, packet)
+                    return
             # Egress role for transit flows (destination is an end host
             # behind this edge): meter deliveries on the way through.
-            egress_state = self._egress.get(packet.flow_id)
-            if egress_state is not None:
+            out_slot = self._egress_index.get(packet.flow_id)
+            if out_slot is not None:
+                egress_state = self._egress_flows[out_slot]
                 egress_state.meter.record()
                 egress_state.delay.record(max(0.0, self.sim.now - packet.created_at))
         self.forward(packet)

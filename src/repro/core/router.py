@@ -41,17 +41,51 @@ FeedbackSender = Callable[[Packet], None]
 
 Selector = Union[MarkerCacheFeedback, SelectiveFeedback]
 
+#: Localized enum member: the marker test runs once per received packet.
+_MARKER = PacketKind.MARKER
+
 
 class _LinkMachinery:
     """Congestion estimator + marker selector for one output link."""
 
-    __slots__ = ("link", "estimator", "selector", "qavg_last")
+    __slots__ = (
+        "link",
+        "estimator",
+        "selector",
+        "qavg_last",
+        "task",
+        "parked_at",
+        "saved_send",
+        "park_t",
+        "park_next",
+        "park_counts",
+        "park_pending",
+    )
 
     def __init__(self, link: Link, estimator: CongestionDetector, selector: Selector) -> None:
         self.link = link
         self.estimator = estimator
         self.selector = selector
         self.qavg_last = 0.0
+        #: The epoch timer; replaced on every unpark.
+        self.task = None
+        #: Fire time of the epoch that parked the timer (None = running).
+        self.parked_at: Optional[float] = None
+        #: The link's real ``send`` entry point while the wake trap is set.
+        self.saved_send = None
+        #: Virtual epoch grid while parked: the last passed boundary, the
+        #: next one, the marker count of each fully elapsed epoch (to
+        #: replay the selector's per-epoch folds on unpark) and the count
+        #: of the current partial epoch.
+        self.park_t = 0.0
+        self.park_next = 0.0
+        self.park_counts: list = []
+        self.park_pending = 0
+
+    @property
+    def parked(self) -> bool:
+        """Whether the link's epoch timer is currently parked (idle)."""
+        return self.parked_at is not None
 
 
 class CoreliteCoreRouter(Router):
@@ -104,7 +138,7 @@ class CoreliteCoreRouter(Router):
         offset = self._rng.stream(f"epoch:{link.name}").uniform(
             0.0, self.config.core_epoch
         )
-        self.sim.every(
+        machinery.task = self.sim.every(
             self.config.core_epoch,
             lambda m=machinery: self._epoch(m),
             first_delay=offset,
@@ -136,14 +170,16 @@ class CoreliteCoreRouter(Router):
     # -- data path --------------------------------------------------------
 
     def receive(self, packet: Packet, link: Link) -> None:
-        out_link = self.route_for(packet.dst)
+        out_link = self._routes.get(packet.dst)
         if out_link is None:
             # Defer to forward() for the error message.
             self.forward(packet)
             return
-        if packet.kind == PacketKind.MARKER:
+        if packet.kind is _MARKER:
             machinery = self._machinery.get(out_link.name)
             if machinery is not None:
+                if machinery.parked_at is not None:
+                    self._note_parked_marker(machinery)
                 machinery.selector.observe(
                     packet.flow_id,
                     packet.origin_edge or packet.src,
@@ -156,11 +192,119 @@ class CoreliteCoreRouter(Router):
 
     def _epoch(self, machinery: _LinkMachinery) -> None:
         now = self.sim.now
-        qavg = machinery.link.queue.time_average(now)
-        machinery.link.queue.reset_window(now)
+        queue = machinery.link.queue
+        qavg = queue.take_window_average(now)
         machinery.qavg_last = qavg
-        n_markers = machinery.estimator.markers_for_epoch(qavg)
+        estimator = machinery.estimator
+        if qavg <= self.config.qthresh:
+            # Uncongested: every detector's ``fn`` contract returns 0 here,
+            # and a zero epoch clears the carry — skip the two calls.
+            estimator._carry = 0.0
+            n_markers = 0
+        else:
+            n_markers = estimator.markers_for_epoch(qavg)
         machinery.selector.on_epoch(n_markers, now)
+        # An uncongested boundary on an empty link arms ``pw = 0`` and
+        # clears both the deficit and the epoch marker count, so every
+        # boundary until the queue next holds data is replayable: qavg
+        # stays exactly 0.0 (the occupancy integral never accrues), no
+        # selection can trigger, and the only evolving selector state is
+        # the per-epoch ``wav`` fold — which is recorded and replayed on
+        # unpark.  Park the timer and trap the link's send: with N flows,
+        # the access links alone are 2N near-permanently poolable timers.
+        # (Parking reads FIFO internals, so it requires the link's plain
+        # FIFO hot path — true for every builder-produced core link.)
+        if qavg == 0.0 and not queue._items and machinery.link._plain_fifo:
+            self._park(machinery)
+
+    def _park(self, machinery: _LinkMachinery) -> None:
+        """Stop an idle link's epoch timer; its ``send`` re-arms it."""
+        machinery.task.stop()
+        now = self.sim.now
+        machinery.parked_at = now
+        machinery.park_t = now
+        machinery.park_next = now + self.config.core_epoch
+        machinery.park_pending = 0
+        link = machinery.link
+        machinery.saved_send = link.send
+
+        def waking_send(packet: Packet, _m: _LinkMachinery = machinery) -> bool:
+            # Only a *data* packet that will actually enqueue (busy
+            # transmitter or a non-empty queue) can make the next window
+            # average non-zero — markers have zero size and never touch
+            # the occupancy integral, and bypassed sends keep every
+            # parked boundary a provable no-op.
+            link = _m.link
+            if packet.size > 0.0 and (
+                self.sim.now < link._free_at or link.queue._items
+            ):
+                send = _m.saved_send
+                self._unpark(_m)
+                return send(packet)
+            return _m.saved_send(packet)
+
+        link.send = waking_send
+
+    def _note_parked_marker(self, machinery: _LinkMachinery) -> None:
+        """A marker is traversing a parked link: bin it into the virtual
+        epoch grid so the skipped ``wav`` folds replay exactly on unpark."""
+        now = self.sim.now
+        nxt = machinery.park_next
+        if now >= nxt:
+            interval = self.config.core_epoch
+            counts = machinery.park_counts
+            counts.append(machinery.park_pending)
+            machinery.park_pending = 0
+            t = nxt
+            nxt = t + interval
+            while now >= nxt:
+                counts.append(0)
+                t = nxt
+                nxt = t + interval
+            machinery.park_t = t
+            machinery.park_next = nxt
+        machinery.park_pending += 1
+
+    def _unpark(self, machinery: _LinkMachinery) -> None:
+        """First enqueue-capable packet after parking: restore ``send``
+        and re-arm the epoch timer *on its original grid*.
+
+        The skipped boundaries are replayed by re-accumulating the fire
+        times a never-parked task would have produced (``t += interval``
+        from the parked fire time — the float sequence must match
+        exactly), folding each elapsed epoch's recorded marker count into
+        the selector, and re-opening the queue's averaging window at the
+        last skipped boundary — precisely the state the skipped epochs
+        would have left behind.
+        """
+        link = machinery.link
+        link.send = machinery.saved_send
+        machinery.saved_send = None
+        interval = self.config.core_epoch
+        now = self.sim.now
+        machinery.parked_at = None
+        counts = machinery.park_counts
+        t = machinery.park_t
+        nxt = machinery.park_next
+        if now >= nxt:
+            counts.append(machinery.park_pending)
+            machinery.park_pending = 0
+            t = nxt
+            nxt = t + interval
+            while now >= nxt:
+                counts.append(0)
+                t = nxt
+                nxt = t + interval
+        if counts:
+            fold = machinery.selector.fold_epoch
+            for count in counts:
+                fold(count)
+            counts.clear()
+        machinery.park_pending = 0
+        link.queue.reset_window(t)
+        machinery.task = self.sim.every(
+            interval, lambda m=machinery: self._epoch(m), first_at=nxt
+        )
 
     # -- feedback -----------------------------------------------------------
 

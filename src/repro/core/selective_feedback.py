@@ -119,6 +119,39 @@ class SelectiveFeedback:
         else:
             self.pw = 0.0
 
+    def fold_epoch(self, count: int) -> None:
+        """Replay one *uncongested* epoch boundary skipped while the link's
+        timer was parked, with ``count`` markers observed during it.
+
+        Performs exactly the ``wav`` update :meth:`on_epoch` would have
+        (same operation order, so the float trajectory is bit-identical)
+        and returns the replayed markers from the live epoch counter,
+        which kept accumulating across the parked period.  ``pw`` and
+        ``deficit`` are provably zero for the whole parked span — parking
+        requires an uncongested boundary, which arms ``pw = 0`` — so
+        nothing else needs replaying.
+        """
+        if self.wav == 0.0:
+            self.wav = float(count)
+        else:
+            self.wav += self.config.wav_gain * (count - self.wav)
+        self._epoch_marker_count -= count
+
+    def quiescent(self) -> bool:
+        """Whether an uncongested epoch boundary would leave this state
+        machine bit-identical (so the router may park the link's epoch
+        timer).  ``on_epoch(0, now)`` mutates nothing only when there is
+        no marker count to fold into ``wav``, no armed selection
+        probability and no outstanding deficit — and ``wav`` itself is
+        exactly zero, since folding a zero count into a non-zero average
+        decays it."""
+        return (
+            self.wav == 0.0
+            and self.pw == 0.0
+            and self.deficit == 0
+            and self._epoch_marker_count == 0
+        )
+
     def _send(self, flow_id: int, origin_edge: str, label: float) -> None:
         self.feedback_sent += 1
         self._emit(flow_id, origin_edge, label)

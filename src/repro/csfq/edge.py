@@ -16,7 +16,7 @@ losses per edge epoch and runs the shared slow-start + LIMD
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.adaptation import RateController
 from repro.core.shaping import PacedSender
@@ -110,8 +110,16 @@ class CsfqEdge(Router):
         self.sim = sim
         self.config = config
         self._epoch_offset = epoch_offset
-        self._ingress: Dict[int, _IngressFlow] = {}
-        self._egress: Dict[int, _EgressFlow] = {}
+        # Slot-indexed flow tables (see repro.core.edge): id -> slot maps
+        # for control-plane lookups, dense lists for the hot sweeps.
+        self._ingress_index: Dict[int, int] = {}
+        self._ingress_flows: List[_IngressFlow] = []
+        self._egress_index: Dict[int, int] = {}
+        self._egress_flows: List[_EgressFlow] = []
+        #: Attach-ordered sweep list of active ingress flows; rebuilt
+        #: lazily after any start/stop transition.
+        self._active_ingress: List[_IngressFlow] = []
+        self._active_dirty = False
         self._epoch_task: Optional[PeriodicTask] = None
         #: Set by the network harness: ships loss notifications upstream.
         self.loss_channel: Optional[LossChannel] = None
@@ -120,7 +128,7 @@ class CsfqEdge(Router):
     # -- ingress role ---------------------------------------------------
 
     def attach_flow(self, attachment: CsfqFlowAttachment) -> None:
-        if attachment.flow_id in self._ingress:
+        if attachment.flow_id in self._ingress_index:
             raise FlowError(f"flow {attachment.flow_id} already attached at {self.name}")
         # CsfqConfig mirrors the adaptation fields of CoreliteConfig by
         # name, so the shared RateController drives CSFQ sources unchanged.
@@ -133,7 +141,8 @@ class CsfqEdge(Router):
             lambda s=state: self._emit(s),
             burst=self.config.shaper_burst,
         )
-        self._ingress[attachment.flow_id] = state
+        self._ingress_index[attachment.flow_id] = len(self._ingress_flows)
+        self._ingress_flows.append(state)
         if self._epoch_task is None:
             self._epoch_task = self.sim.every(
                 self.config.edge_epoch, self._epoch, first_delay=self._epoch_offset
@@ -144,6 +153,7 @@ class CsfqEdge(Router):
         if state.active:
             return
         state.active = True
+        self._active_dirty = True
         state.controller.restart(self.sim.now)
         state.estimator.restart(self.sim.now)
         state.losses = 0
@@ -155,13 +165,15 @@ class CsfqEdge(Router):
         if not state.active:
             return
         state.active = False
+        self._active_dirty = True
         state.pacer.stop()
 
     def receive_loss_notify(self, packet: Packet) -> None:
         """Control-plane entry: egress-detected losses for one of our flows."""
         if packet.kind != PacketKind.LOSS_NOTIFY:
             raise FlowError(f"{self.name}: unexpected control packet {packet!r}")
-        state = self._ingress.get(packet.flow_id)
+        slot = self._ingress_index.get(packet.flow_id)
+        state = self._ingress_flows[slot] if slot is not None else None
         if state is None or not state.active:
             self.stray_notifications += 1
             return
@@ -175,11 +187,11 @@ class CsfqEdge(Router):
         return self._ingress_state(flow_id).active
 
     def ingress_flow_ids(self) -> Tuple[int, ...]:
-        return tuple(self._ingress)
+        return tuple(self._ingress_index)
 
     def _ingress_state(self, flow_id: int) -> _IngressFlow:
         try:
-            return self._ingress[flow_id]
+            return self._ingress_flows[self._ingress_index[flow_id]]
         except KeyError:
             raise FlowError(f"{self.name}: unknown ingress flow {flow_id}") from None
 
@@ -216,9 +228,12 @@ class CsfqEdge(Router):
 
     def _epoch(self) -> None:
         now = self.sim.now
-        for state in self._ingress.values():
-            if not state.active:
-                continue
+        if self._active_dirty:
+            # Attach order keeps the sweep sequence identical to the old
+            # full-table scan, preserving replays.
+            self._active_ingress = [s for s in self._ingress_flows if s.active]
+            self._active_dirty = False
+        for state in self._active_ingress:
             losses = state.losses
             state.losses = 0
             new_rate = state.controller.on_epoch(losses, now)
@@ -227,9 +242,10 @@ class CsfqEdge(Router):
     # -- egress role -----------------------------------------------------
 
     def expect_flow(self, flow_id: int) -> None:
-        if flow_id in self._egress:
+        if flow_id in self._egress_index:
             raise FlowError(f"flow {flow_id} already expected at {self.name}")
-        self._egress[flow_id] = _EgressFlow()
+        self._egress_index[flow_id] = len(self._egress_flows)
+        self._egress_flows.append(_EgressFlow())
 
     def delivered(self, flow_id: int) -> int:
         return self._egress_state(flow_id).meter.count
@@ -246,18 +262,19 @@ class CsfqEdge(Router):
 
     def _egress_state(self, flow_id: int) -> _EgressFlow:
         try:
-            return self._egress[flow_id]
+            return self._egress_flows[self._egress_index[flow_id]]
         except KeyError:
             raise FlowError(f"{self.name}: unknown egress flow {flow_id}") from None
 
     def _deliver_local(self, packet: Packet) -> None:
-        state = self._egress.get(packet.flow_id)
+        slot = self._egress_index.get(packet.flow_id)
+        state = self._egress_flows[slot] if slot is not None else None
         if state is None:
             raise FlowError(
                 f"{self.name}: packet for unexpected flow {packet.flow_id} "
                 f"(call expect_flow first)"
             )
-        if packet.kind != PacketKind.DATA:
+        if packet.kind is not PacketKind.DATA:
             return
         if state.expected_seq is not None and packet.seq > state.expected_seq:
             gap = packet.seq - state.expected_seq

@@ -332,6 +332,7 @@ class Cloud:
         queue_factory: Optional[Callable[[], DropTailQueue]] = None,
         control_loss_prob: float = 0.0,
         packet_pool: bool = False,
+        calendar: bool = True,
     ) -> None:
         """``queue_factory`` overrides the default drop-tail buffer on
         every link (used by the AQM ablations to swap in RED or DECbit
@@ -341,7 +342,9 @@ class Cloud:
         robustness experiments.  ``packet_pool`` recycles delivered
         packet objects through a free list — results are byte-identical
         either way (pinned by replay tests); it only cuts allocator churn
-        on long runs."""
+        on long runs.  ``calendar=False`` forces the simulator's timer
+        tier onto the pure binary heap — also byte-identical (pinned by
+        the same replay tests) and only useful for those pins."""
         if not isinstance(spec, TopologySpec):
             raise ConfigurationError(
                 f"Cloud needs a TopologySpec, got {type(spec).__name__}"
@@ -351,7 +354,7 @@ class Cloud:
         strategy.bind(self)
         self.scheme = strategy.scheme
         self.config = strategy.make_config()
-        self.sim = Simulator()
+        self.sim = Simulator(calendar=calendar)
         if packet_pool:
             self.sim.packet_pool = PacketPool()
         self.rng = RngRegistry(seed)
@@ -728,6 +731,7 @@ class CloudBuilder:
         queue_factory: Optional[Callable[[], DropTailQueue]] = None,
         control_loss_prob: float = 0.0,
         packet_pool: bool = False,
+        calendar: bool = True,
     ) -> None:
         if scheme not in SCHEME_STRATEGIES:
             raise ConfigurationError(
@@ -740,6 +744,7 @@ class CloudBuilder:
         self.queue_factory = queue_factory
         self.control_loss_prob = control_loss_prob
         self.packet_pool = packet_pool
+        self.calendar = calendar
         self._flows: List[FlowPathSpec] = []
 
     def add_flow(self, spec: Union[FlowPathSpec, None] = None, **kwargs) -> "CloudBuilder":
@@ -771,6 +776,7 @@ class CloudBuilder:
             queue_factory=self.queue_factory,
             control_loss_prob=self.control_loss_prob,
             packet_pool=self.packet_pool,
+            calendar=self.calendar,
         )
         cloud.add_flows(self._flows)
         if finalize:

@@ -28,6 +28,7 @@ not by events burned.
 
 from __future__ import annotations
 
+import functools
 import json
 import math
 import platform
@@ -240,6 +241,68 @@ def _bench_scenario_chain4(scale: float, pool: bool = False) -> Tuple[int, float
     return cloud.sim.events_executed, elapsed
 
 
+def _flow_scaling_cloud(
+    scheme: str, flows: int, *, packet_pool: bool = False, calendar: bool = True
+):
+    """A 2-core chain with ``flows`` backlogged flows crossing it.
+
+    Core capacity scales with the flow count (8 pkt/s per flow) so the
+    per-flow fair share stays in the paper's regime — small rates, many
+    flows — and the bench measures per-flow overhead, not queue dynamics
+    at one particular load.  Weights cycle 1..4 like the §4.1 scenarios.
+    ``packet_pool``/``calendar`` feed the replay tests, which pin the
+    same cloud byte-identical with each optimization toggled off.
+    """
+    from repro.experiments.builder import CloudBuilder
+    from repro.experiments.topospec import FlowPathSpec, TopologySpec
+
+    spec = TopologySpec.chain(
+        2, capacity_pps=8.0 * flows, name=f"flow-scaling-{flows}"
+    )
+    builder = CloudBuilder(
+        spec, scheme=scheme, seed=0, packet_pool=packet_pool, calendar=calendar
+    )
+    for fid in range(1, flows + 1):
+        builder.add_flow(
+            FlowPathSpec(
+                fid,
+                weight=1.0 + (fid % 4),
+                ingress_core="C1",
+                egress_core="C2",
+            )
+        )
+    return builder.build()
+
+
+def _bench_flow_scaling(
+    scale: float, scheme: str = "corelite", flows: int = 512
+) -> Tuple[int, float]:
+    """End-to-end pkts/s with a dense flow population (the PR 5 target).
+
+    Build and route computation are excluded from the timing: the unit is
+    *delivered data packets* during ``cloud.run``, which is what the
+    flow-scale hot-path work (timer tier, slot tables) actually changes.
+
+    The horizon ignores ``scale`` on purpose: the first ~2 simulated
+    seconds are startup transient (senders ramping, labels converging)
+    with almost no deliveries, so a shrunken quick-mode horizon would
+    measure fixed overhead instead of throughput — and would never be
+    comparable to a full-mode baseline report.
+    """
+    del scale  # see docstring: short horizons sit inside the transient
+    horizon = 8.0
+    cloud = _flow_scaling_cloud(scheme, flows)
+    started = time.perf_counter()
+    result = cloud.run(until=horizon, sample_interval=1.0)
+    elapsed = time.perf_counter() - started
+    delivered = sum(record.delivered for record in result.flows.values())
+    if delivered <= 0:
+        raise ConfigurationError(
+            f"flow_scaling bench ({scheme}, {flows} flows) delivered nothing"
+        )
+    return delivered, elapsed
+
+
 #: name -> (bench callable taking a size scale, work unit name).
 BENCHES: Dict[str, Tuple[Callable[[float], Tuple[int, float]], str]] = {
     "event_loop": (_bench_event_loop, "events"),
@@ -250,6 +313,26 @@ BENCHES: Dict[str, Tuple[Callable[[float], Tuple[int, float]], str]] = {
     "packet_alloc_pooled": (_bench_packet_alloc_pooled, "packets"),
     "scenario_chain4": (_bench_scenario_chain4, "events"),
 }
+
+#: Flow-population points for the flow_scaling bench family.  512 is the
+#: PR 5 acceptance point; 64/256/1024 trace the scaling curve for both
+#: schemes under comparison.
+FLOW_SCALING_POINTS: Tuple[Tuple[str, int], ...] = (
+    ("corelite", 64),
+    ("corelite", 256),
+    ("corelite", 512),
+    ("corelite", 1024),
+    ("csfq", 64),
+    ("csfq", 256),
+    ("csfq", 1024),
+)
+
+for _scheme, _flows in FLOW_SCALING_POINTS:
+    BENCHES[f"flow_scaling_{_scheme}_{_flows}"] = (
+        functools.partial(_bench_flow_scaling, scheme=_scheme, flows=_flows),
+        "packets",
+    )
+del _scheme, _flows
 
 
 # ---------------------------------------------------------------------------
@@ -371,7 +454,9 @@ def run_suite(
 ) -> BenchReport:
     """Run the full suite and return its report.
 
-    ``quick`` shrinks every bench (CI smoke); ``pool`` runs the scenario
+    ``quick`` shrinks every bench (CI smoke) except the ``flow_scaling``
+    family, whose horizon is fixed so quick reports stay comparable to
+    full-mode baselines; ``pool`` runs the scenario
     bench with the packet free-list pool enabled so its effect lands in
     the trajectory.  Benches that probe for features the current revision
     lacks are recorded under ``skipped`` instead of failing, which is

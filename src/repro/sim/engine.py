@@ -21,16 +21,50 @@ Two scheduling tiers exist:
   are fire-and-forget, and on the hot path the handle allocation is pure
   overhead.  Both tiers share one sequence counter, so mixing them keeps
   same-time ordering deterministic.
+
+Underneath both tiers the event store itself is two-level.  Near-future
+events — pacer fires, epoch ticks, link deliveries, anything within
+:data:`_CAL_HORIZON` of the clock — land in a calendar queue: a ring of
+:data:`_CAL_BUCKETS` buckets of :data:`_CAL_WIDTH` seconds each, appended
+O(1) and lazily sorted per bucket when the clock reaches it.  With N
+flows the timer population scales with N, so the binary heap's O(log N)
+per insert/pop becomes the dominant per-packet cost; the calendar makes
+the dense near-future churn O(1) amortized.  Far-horizon or post-``inf``
+events fall back to the binary heap.  The dispatch loop always executes
+the global ``(time, seq)`` minimum of the two structures, so event order
+— and therefore every replay — is byte-identical to a single heap
+(pinned by the calendar on/off replay tests); ``Simulator(calendar=False)``
+forces the pure-heap path.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from bisect import insort
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
 __all__ = ["Simulator", "EventHandle", "PeriodicTask"]
+
+#: Calendar bucket width in seconds.  2 ms keeps per-bucket populations
+#: dense enough to amortize the bucket-switch bookkeeping (tens of
+#: entries at thousands of events per simulated second) while spanning
+#: every recurring interval in the system — pacer gaps, link service
+#: times, 40 ms propagation delays, 0.1/0.3 s epochs, 1 s samplers.
+_CAL_WIDTH = 0.002
+_CAL_INV = 500.0  # 1 / _CAL_WIDTH, multiplied on the schedule path
+#: Ring size (power of two so the slot is a mask, not a modulo).
+_CAL_BUCKETS = 1024
+_CAL_MASK = _CAL_BUCKETS - 1
+#: Anything scheduled at least this far ahead goes to the heap instead.
+_CAL_HORIZON = _CAL_BUCKETS * _CAL_WIDTH
+#: Below this many pending events the C-implemented binary heap wins on
+#: constant factor; the calendar only takes events while the pending
+#: population is at least this large.  The policy is pure placement —
+#: dispatch always runs the global (time, seq) minimum — so it cannot
+#: change event order, only costs.
+_CAL_MIN_EVENTS = 256
 
 
 class EventHandle:
@@ -65,6 +99,13 @@ class PeriodicTask:
     The task owns a single :class:`EventHandle` for its whole lifetime:
     each firing re-arms the same handle via :meth:`Simulator.reschedule`
     instead of allocating a fresh one per occurrence.
+
+    ``first_at`` pins the first firing to an exact absolute time.  It
+    exists for components that park their periodic work while idle and
+    later resume *on the original grid*: ``schedule_at(first_at)`` hits
+    the precise float a never-parked task would have fired at, which
+    ``schedule(first_at - now)`` cannot guarantee (the round trip through
+    a delay re-rounds).
     """
 
     __slots__ = ("_sim", "interval", "_fn", "_handle", "_stopped")
@@ -75,17 +116,23 @@ class PeriodicTask:
         interval: float,
         fn: Callable[[], None],
         first_delay: Optional[float] = None,
+        first_at: Optional[float] = None,
     ) -> None:
         if interval <= 0:
             raise SimulationError(f"periodic interval must be positive, got {interval}")
         if first_delay is not None and first_delay < 0:
             raise SimulationError(f"first_delay must be >= 0, got {first_delay}")
+        if first_at is not None and first_delay is not None:
+            raise SimulationError("pass first_delay or first_at, not both")
         self._sim = sim
         self.interval = interval
         self._fn = fn
         self._stopped = False
-        delay = interval if first_delay is None else first_delay
-        self._handle = sim.schedule(delay, self._fire)
+        if first_at is not None:
+            self._handle = sim.schedule_at(first_at, self._fire)
+        else:
+            delay = interval if first_delay is None else first_delay
+            self._handle = sim.schedule(delay, self._fire)
 
     def _fire(self) -> None:
         if self._stopped:
@@ -128,9 +175,16 @@ class Simulator:
         "_next_pid",
         "events_executed",
         "packet_pool",
+        "_cal_on",
+        "_cal_buckets",
+        "_cal_pos",
+        "_cal_sorted",
+        "_cal_slot_abs",
+        "_cal_count",
+        "_cal_next_abs",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, calendar: bool = True) -> None:
         #: Current virtual time in seconds.  Read-mostly; components must
         #: never assign it — only the run loop advances the clock.
         self.now = 0.0
@@ -143,6 +197,15 @@ class Simulator:
         #: Optional free-list pool consulted by ``Packet.data``/``marker``
         #: when constructing packets with ``sim=`` (see repro.sim.packet).
         self.packet_pool = None
+        #: ``calendar=False`` forces every event onto the binary heap —
+        #: same event order (the replay tests pin this), no O(1) tier.
+        self._cal_on = calendar
+        self._cal_buckets: List[List[Any]] = [[] for _ in range(_CAL_BUCKETS)]
+        self._cal_pos = [0] * _CAL_BUCKETS  # consumed prefix per bucket
+        self._cal_sorted = bytearray(_CAL_BUCKETS)
+        self._cal_slot_abs = [-1] * _CAL_BUCKETS  # absolute bucket id per slot
+        self._cal_count = 0  # live + lazily-cancelled calendar entries
+        self._cal_next_abs = 0  # scan frontier: lower bound on earliest bucket
 
     def next_packet_id(self) -> int:
         """Allocate the next packet id (1, 2, ...) for this simulation.
@@ -155,14 +218,48 @@ class Simulator:
         self._next_pid += 1
         return self._next_pid
 
+    def _push(self, time: float, handle: Optional[EventHandle], fn, args) -> None:
+        """Store one event: calendar bucket if near-future and the pending
+        population is dense enough to pay for bucket upkeep, else heap."""
+        self._seq += 1
+        entry = (time, self._seq, handle, fn, args)
+        if (
+            self._cal_on
+            and time - self.now < _CAL_HORIZON
+            and (self._cal_count or len(self._heap) >= _CAL_MIN_EVENTS)
+        ):
+            b = int(time * _CAL_INV)
+            # ``_cal_next_abs`` never trails the clock's bucket while the
+            # calendar is non-empty (and an empty calendar has no slot to
+            # collide with), so comparing against it is an exact stand-in
+            # for re-bucketing ``now`` — one float multiply cheaper.
+            if b - self._cal_next_abs < _CAL_BUCKETS:
+                slot = b & _CAL_MASK
+                bucket = self._cal_buckets[slot]
+                if bucket:
+                    # Within the horizon two live absolute buckets cannot
+                    # share a slot, so this bucket is already bucket ``b``.
+                    if self._cal_sorted[slot]:
+                        insort(bucket, entry, self._cal_pos[slot])
+                    else:
+                        bucket.append(entry)
+                else:
+                    self._cal_slot_abs[slot] = b
+                    bucket.append(entry)
+                count = self._cal_count
+                self._cal_count = count + 1
+                if count == 0 or b < self._cal_next_abs:
+                    self._cal_next_abs = b
+                return
+        heapq.heappush(self._heap, entry)
+
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         time = self.now + delay
         handle = EventHandle(time)
-        self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, handle, fn, args))
+        self._push(time, handle, fn, args)
         return handle
 
     def schedule_at(self, time: float, fn: Callable[..., None], *args: Any) -> EventHandle:
@@ -172,8 +269,7 @@ class Simulator:
                 f"cannot schedule into the past (t={time} < now={self.now})"
             )
         handle = EventHandle(time)
-        self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, handle, fn, args))
+        self._push(time, handle, fn, args)
         return handle
 
     def schedule_fast(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
@@ -183,11 +279,39 @@ class Simulator:
         is allocated and nothing is returned.  Use for fire-and-forget
         events (packet deliveries, source arrivals); anything that might
         need cancelling must go through :meth:`schedule`.
+
+        The placement logic of :meth:`_push` is inlined here (and in the
+        other two hot schedulers) — one Python frame per event is real
+        money at millions of events per run.
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        time = self.now + delay
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, None, fn, args))
+        entry = (time, self._seq, None, fn, args)
+        if (
+            self._cal_on
+            and delay < _CAL_HORIZON
+            and (self._cal_count or len(self._heap) >= _CAL_MIN_EVENTS)
+        ):
+            b = int(time * _CAL_INV)
+            if b - self._cal_next_abs < _CAL_BUCKETS:  # see _push
+                slot = b & _CAL_MASK
+                bucket = self._cal_buckets[slot]
+                if bucket:
+                    if self._cal_sorted[slot]:
+                        insort(bucket, entry, self._cal_pos[slot])
+                    else:
+                        bucket.append(entry)
+                else:
+                    self._cal_slot_abs[slot] = b
+                    bucket.append(entry)
+                count = self._cal_count
+                self._cal_count = count + 1
+                if count == 0 or b < self._cal_next_abs:
+                    self._cal_next_abs = b
+                return
+        heapq.heappush(self._heap, entry)
 
     def schedule_at_fast(self, time: float, fn: Callable[..., None], *args: Any) -> None:
         """Non-cancellable variant of :meth:`schedule_at` (see :meth:`schedule_fast`)."""
@@ -196,7 +320,30 @@ class Simulator:
                 f"cannot schedule into the past (t={time} < now={self.now})"
             )
         self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, None, fn, args))
+        entry = (time, self._seq, None, fn, args)
+        if (
+            self._cal_on
+            and time - self.now < _CAL_HORIZON
+            and (self._cal_count or len(self._heap) >= _CAL_MIN_EVENTS)
+        ):
+            b = int(time * _CAL_INV)
+            if b - self._cal_next_abs < _CAL_BUCKETS:  # see _push
+                slot = b & _CAL_MASK
+                bucket = self._cal_buckets[slot]
+                if bucket:
+                    if self._cal_sorted[slot]:
+                        insort(bucket, entry, self._cal_pos[slot])
+                    else:
+                        bucket.append(entry)
+                else:
+                    self._cal_slot_abs[slot] = b
+                    bucket.append(entry)
+                count = self._cal_count
+                self._cal_count = count + 1
+                if count == 0 or b < self._cal_next_abs:
+                    self._cal_next_abs = b
+                return
+        heapq.heappush(self._heap, entry)
 
     def reschedule(
         self, delay: float, fn: Callable[..., None], handle: EventHandle, *args: Any
@@ -215,11 +362,38 @@ class Simulator:
         handle.time = time
         handle.cancelled = False
         self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, handle, fn, args))
+        entry = (time, self._seq, handle, fn, args)
+        if (
+            self._cal_on
+            and delay < _CAL_HORIZON
+            and (self._cal_count or len(self._heap) >= _CAL_MIN_EVENTS)
+        ):
+            b = int(time * _CAL_INV)
+            if b - self._cal_next_abs < _CAL_BUCKETS:  # see _push
+                slot = b & _CAL_MASK
+                bucket = self._cal_buckets[slot]
+                if bucket:
+                    if self._cal_sorted[slot]:
+                        insort(bucket, entry, self._cal_pos[slot])
+                    else:
+                        bucket.append(entry)
+                else:
+                    self._cal_slot_abs[slot] = b
+                    bucket.append(entry)
+                count = self._cal_count
+                self._cal_count = count + 1
+                if count == 0 or b < self._cal_next_abs:
+                    self._cal_next_abs = b
+                return handle
+        heapq.heappush(self._heap, entry)
         return handle
 
     def every(
-        self, interval: float, fn: Callable[[], None], first_delay: Optional[float] = None
+        self,
+        interval: float,
+        fn: Callable[[], None],
+        first_delay: Optional[float] = None,
+        first_at: Optional[float] = None,
     ) -> PeriodicTask:
         """Run ``fn`` every ``interval`` seconds.
 
@@ -227,9 +401,52 @@ class Simulator:
         is given.  Components with identical periods (edge and core epochs)
         pass a randomized ``first_delay`` so they do not phase-lock: in a
         real network, routers' epoch clocks are not synchronized, and
-        lockstep adaptation amplifies rate oscillations.
+        lockstep adaptation amplifies rate oscillations.  ``first_at``
+        pins the first firing to an exact absolute time instead (see
+        :class:`PeriodicTask`).
         """
-        return PeriodicTask(self, interval, fn, first_delay=first_delay)
+        return PeriodicTask(self, interval, fn, first_delay=first_delay, first_at=first_at)
+
+    def _cal_head(self) -> Tuple[Optional[Any], int]:
+        """The earliest live calendar entry and its ring slot.
+
+        Advances the scan frontier past empty/exhausted buckets, lazily
+        sorts the bucket it lands on, and drains lazily-cancelled entries
+        as it goes.  Returns ``(None, -1)`` when the calendar is empty.
+        The entry is *not* consumed; the caller pops it by bumping
+        ``_cal_pos[slot]`` and decrementing ``_cal_count``.
+        """
+        buckets = self._cal_buckets
+        positions = self._cal_pos
+        sorted_flags = self._cal_sorted
+        slot_abs = self._cal_slot_abs
+        b = self._cal_next_abs
+        while self._cal_count:
+            slot = b & _CAL_MASK
+            bucket = buckets[slot]
+            if bucket and slot_abs[slot] == b:
+                if not sorted_flags[slot]:
+                    bucket.sort()
+                    sorted_flags[slot] = 1
+                pos = positions[slot]
+                n = len(bucket)
+                while pos < n:
+                    entry = bucket[pos]
+                    handle = entry[2]
+                    if handle is not None and handle.cancelled:
+                        pos += 1
+                        self._cal_count -= 1
+                        continue
+                    positions[slot] = pos
+                    self._cal_next_abs = b
+                    return entry, slot
+                # Every entry consumed (or cancelled): recycle the bucket.
+                bucket.clear()
+                positions[slot] = 0
+                sorted_flags[slot] = 0
+                slot_abs[slot] = -1
+            b += 1
+        return None, -1
 
     def run(self, until: Optional[float] = None) -> None:
         """Execute events in time order.
@@ -237,41 +454,106 @@ class Simulator:
         With ``until`` set, execution stops once the next event would fire
         strictly after ``until`` and the clock is advanced to ``until``
         (events at exactly ``until`` do run).  Cancelled entries at the
-        head of the heap are drained even when they lie beyond ``until``,
-        so repeated bounded runs do not accumulate stale entries.  Without
-        ``until`` the loop drains the heap completely.
+        head of the event store are drained even when they lie beyond
+        ``until``, so repeated bounded runs do not accumulate stale
+        entries.  Without ``until`` the loop drains everything.
+
+        Each iteration dispatches the global ``(time, seq)`` minimum of
+        the heap head and the calendar head, which is exactly the order a
+        single heap would produce — replays are byte-identical with the
+        calendar tier on or off.
         """
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         heap = self._heap
         pop = heapq.heappop
+        cal_head = self._cal_head
+        buckets = self._cal_buckets
+        positions = self._cal_pos
+        sorted_flags = self._cal_sorted
+        slot_abs = self._cal_slot_abs
         executed = 0
         try:
-            if until is None:
+            while True:
                 while heap:
-                    entry = pop(heap)
-                    handle = entry[2]
-                    if handle is not None and handle.cancelled:
-                        continue
-                    self.now = entry[0]
-                    executed += 1
-                    entry[3](*entry[4])
-            else:
-                while heap:
-                    entry = heap[0]
-                    handle = entry[2]
+                    hentry = heap[0]
+                    handle = hentry[2]
                     if handle is not None and handle.cancelled:
                         pop(heap)
                         continue
-                    if entry[0] > until:
+                    break
+                else:
+                    hentry = None
+                centry, slot = cal_head() if self._cal_count else (None, -1)
+                if centry is not None:
+                    # Whole-bucket fast path: when neither the heap head
+                    # nor ``until`` can interleave with this bucket (two
+                    # bucket widths of slack absorbs any float-boundary
+                    # ambiguity in the time->bucket mapping), every entry
+                    # in it runs back to back with no per-event merge.
+                    # Callbacks may insert into this very bucket; insort
+                    # places them at >= the current position, and the
+                    # length re-check picks them up.
+                    fence = (self._cal_next_abs + 2) * _CAL_WIDTH
+                    if (hentry is None or hentry[0] >= fence) and (
+                        until is None or until >= fence
+                    ):
+                        bucket = buckets[slot]
+                        pos = positions[slot]
+                        drained = pos
+                        # ``pos`` stays local during the drain: mid-bucket
+                        # inserts bisect over the whole (sorted) bucket,
+                        # and consumed entries always compare smaller, so
+                        # a stale ``_cal_pos`` cannot misplace them.
+                        while pos < len(bucket):
+                            entry = bucket[pos]
+                            pos += 1
+                            handle = entry[2]
+                            if handle is not None and handle.cancelled:
+                                continue
+                            self.now = entry[0]
+                            executed += 1
+                            entry[3](*entry[4])
+                        self._cal_count -= pos - drained
+                        bucket.clear()
+                        positions[slot] = 0
+                        sorted_flags[slot] = 0
+                        slot_abs[slot] = -1
+                        continue
+                if hentry is None:
+                    if centry is None:
                         break
+                    entry = centry
+                elif centry is None or hentry < centry:
+                    entry = hentry
+                    slot = -1
+                else:
+                    entry = centry
+                if until is not None and entry[0] > until:
+                    break
+                if slot < 0:
                     pop(heap)
-                    self.now = entry[0]
-                    executed += 1
-                    entry[3](*entry[4])
-                if until > self.now:
-                    self.now = until
+                else:
+                    # Recycle the bucket the moment its last entry is
+                    # consumed: the scan frontier may jump past this slot
+                    # and a stale exhausted bucket would shadow the next
+                    # ring wrap (slot_abs would never match again).
+                    pos = positions[slot] + 1
+                    bucket = buckets[slot]
+                    if pos == len(bucket):
+                        bucket.clear()
+                        positions[slot] = 0
+                        sorted_flags[slot] = 0
+                        slot_abs[slot] = -1
+                    else:
+                        positions[slot] = pos
+                    self._cal_count -= 1
+                self.now = entry[0]
+                executed += 1
+                entry[3](*entry[4])
+            if until is not None and until > self.now:
+                self.now = until
         finally:
             self.events_executed += executed
             self._running = False
@@ -279,32 +561,56 @@ class Simulator:
     def step(self) -> bool:
         """Execute exactly one (non-cancelled) event.
 
-        Returns ``True`` if an event ran, ``False`` if the heap is empty.
+        Returns ``True`` if an event ran, ``False`` if nothing is pending.
         """
-        while self._heap:
-            time, _seq, handle, fn, args = heapq.heappop(self._heap)
-            if handle is not None and handle.cancelled:
-                continue
-            self.now = time
-            self.events_executed += 1
-            fn(*args)
-            return True
-        return False
+        entry, slot = self._next_live()
+        if entry is None:
+            return False
+        if slot < 0:
+            heapq.heappop(self._heap)
+        else:
+            pos = self._cal_pos[slot] + 1
+            bucket = self._cal_buckets[slot]
+            if pos == len(bucket):  # recycle, as in run()
+                bucket.clear()
+                self._cal_pos[slot] = 0
+                self._cal_sorted[slot] = 0
+                self._cal_slot_abs[slot] = -1
+            else:
+                self._cal_pos[slot] = pos
+            self._cal_count -= 1
+        self.now = entry[0]
+        self.events_executed += 1
+        entry[3](*entry[4])
+        return True
 
-    def pending(self) -> int:
-        """Number of heap entries, including lazily-cancelled ones."""
-        return len(self._heap)
-
-    def peek_time(self) -> Optional[float]:
-        """Time of the next live event, or ``None`` if none is pending."""
+    def _next_live(self) -> Tuple[Optional[Any], int]:
+        """The next live entry without consuming it: ``(entry, slot)``
+        where ``slot`` is the calendar ring slot or ``-1`` for the heap.
+        Lazily-cancelled heads of both structures are drained."""
         heap = self._heap
         while heap:
             handle = heap[0][2]
             if handle is not None and handle.cancelled:
                 heapq.heappop(heap)
                 continue
-            return heap[0][0]
-        return None
+            break
+        hentry = heap[0] if heap else None
+        centry, slot = self._cal_head() if self._cal_count else (None, -1)
+        if hentry is None:
+            return centry, slot
+        if centry is None or hentry < centry:
+            return hentry, -1
+        return centry, slot
+
+    def pending(self) -> int:
+        """Number of stored entries, including lazily-cancelled ones."""
+        return len(self._heap) + self._cal_count
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if none is pending."""
+        entry, _slot = self._next_live()
+        return None if entry is None else entry[0]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Simulator(now={self.now:.6f}, pending={len(self._heap)})"
+        return f"Simulator(now={self.now:.6f}, pending={self.pending()})"

@@ -54,6 +54,8 @@ class Link:
         "delivered_control",
         "busy_time",
         "send",
+        "_send_base",
+        "_plain_fifo",
         "_deliver_cb",
         "_free_at",
         "_wake_pending",
@@ -92,8 +94,17 @@ class Link:
         self._drop_listeners: list = []
         self._arrival_taps: list = []
         self._delivery_taps: list = []
+        # The queue-skipping bypasses in ``_send_fast`` replicate
+        # FifoQueue's push/pop bookkeeping verbatim, so they are only
+        # sound when the discipline *is* plain FIFO.  Queues with their
+        # own scheduling or accounting (WFQ, RED, FRED, DECbit) must see
+        # every packet through push/pop.
+        self._plain_fifo = (
+            type(queue).push is FifoQueue.push and type(queue).pop is FifoQueue.pop
+        )
         # Rebindable entry points: start on the tap-free fast paths.
-        self.send = self._send_fast
+        self._send_base = self._send_fast if self._plain_fifo else self._send_queued
+        self.send = self._send_base
         self._deliver_cb = self._deliver_fast
 
     # -- observation hooks ------------------------------------------------
@@ -123,8 +134,66 @@ class Link:
     def _send_fast(self, packet: Packet) -> bool:
         """Offer ``packet`` to the link; returns False if it was dropped.
 
-        Bound as ``self.send`` while no arrival taps are installed.
+        Bound as ``self.send`` while no arrival taps are installed and the
+        queue is a plain FIFO (see ``_plain_fifo``).
+
+        When the transmitter is free and the queue empty — the every-packet
+        case on uncongested access links — the packet would be pushed and
+        immediately popped again, so it skips the queue entirely.  The
+        bypass replays the queue's exact bookkeeping (admission check,
+        stats counters, occupancy-integral timestamp) and schedules the
+        same delivery event the queued path would, so behaviour, stats and
+        event order are identical.
         """
+        sim = self.sim
+        now = sim.now
+        queue = self.queue
+        if now >= self._free_at and not queue._items:
+            stats = queue.stats
+            size = packet.size
+            if size <= 0.0:
+                stats.enqueued_control += 1
+                sim.schedule_at_fast(now + self.prop_delay, self._deliver_cb, packet)
+                return True
+            if not queue.admit(packet, now):
+                stats.dropped_data += 1
+                for listener in self._drop_listeners:
+                    listener(packet, now)
+                return False
+            stats.enqueued_data += 1
+            stats.dequeued_data += 1
+            if size > stats.peak_occupancy:
+                stats.peak_occupancy = size
+            if now > queue._last_time:  # zero-width occupancy spike: the
+                queue._last_time = now  # integral only advances its clock
+            tx = size / self.bandwidth_pps
+            self.busy_time += tx
+            free_at = now + tx
+            self._free_at = free_at
+            sim.schedule_at_fast(free_at + self.prop_delay, self._deliver_cb, packet)
+            return True
+        if packet.size <= 0.0 and not queue._items and not self._wake_pending:
+            # A marker behind the in-flight serialization with nothing
+            # else queued: the wakeup would pop it exactly at ``_free_at``
+            # (zero serialization time), so schedule its delivery directly
+            # and skip the queue + wakeup round trip.
+            queue.stats.enqueued_control += 1
+            sim.schedule_at_fast(self._free_at + self.prop_delay, self._deliver_cb, packet)
+            return True
+        if not queue.push(packet, now):
+            for listener in self._drop_listeners:
+                listener(packet, now)
+            return False
+        if now >= self._free_at:
+            self._transmit_from(now)
+        elif not self._wake_pending:
+            self._wake_pending = True
+            sim.schedule_at_fast(self._free_at, self._wake)
+        return True
+
+    def _send_queued(self, packet: Packet) -> bool:
+        """Bypass-free ``send`` for queues with custom push/pop semantics:
+        every packet goes through the discipline's own enqueue/dequeue."""
         now = self.sim.now
         if not self.queue.push(packet, now):
             for listener in self._drop_listeners:
@@ -143,7 +212,7 @@ class Link:
         for tap in self._arrival_taps:
             if tap(packet, now):
                 return False
-        return self._send_fast(packet)
+        return self._send_base(packet)
 
     def _transmit_from(self, start: float) -> None:
         """Pop and serialize starting at ``start`` (transmitter is free)."""

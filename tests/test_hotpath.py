@@ -407,3 +407,201 @@ def test_cloud_run_never_touches_global_packet_counter(monkeypatch):
         assert sum(r.delivered for r in result.flows.values()) > 0
 
     assert tripwire.calls == 0
+
+
+# ---------------------------------------------------------------------------
+# calendar timer tier
+# ---------------------------------------------------------------------------
+
+
+def _scrambled_times(n=600):
+    """Deterministic non-monotonic near-future timestamps (no RNG: the
+    engine's ordering guarantee must not depend on one)."""
+    times = []
+    t = 0.0
+    for _ in range(n):
+        t = (t + 0.0137) % 1.9
+        times.append(round(t + 0.001, 6))
+    return times
+
+
+def test_calendar_engages_above_density_threshold():
+    sim = Simulator()
+    order = []
+    # Prime the pending population past _CAL_MIN_EVENTS so near-future
+    # inserts start landing in the ring.
+    for i in range(300):
+        sim.schedule_fast(5.0 + i * 1e-4, order.append, ("prime", i))
+    for i, t in enumerate(_scrambled_times()):
+        sim.schedule_at_fast(t, order.append, (t, i))
+    assert sim._cal_count > 0
+    sim.run(until=10.0)
+    fired = [entry for entry in order if entry[0] != "prime"]
+    assert fired == sorted(fired)  # global (time, insertion-seq) order
+    assert sim.events_executed == 900
+
+
+def test_calendar_off_forces_pure_heap():
+    sim = Simulator(calendar=False)
+    for _ in range(300):
+        sim.schedule_fast(5.0, lambda: None)
+    for _ in range(300):
+        sim.schedule_fast(0.001, lambda: None)
+    assert sim._cal_count == 0
+    sim.run(until=10.0)
+    assert sim.events_executed == 600
+
+
+def test_calendar_and_heap_fire_identically():
+    """The calendar is pure placement: the exact firing sequence (and the
+    event count) must match the single-heap engine."""
+
+    def drive(calendar):
+        sim = Simulator(calendar=calendar)
+        order = []
+        for i in range(280):
+            sim.schedule_fast(3.0 + (i % 7) * 0.25, order.append, ("far", i))
+        for i, t in enumerate(_scrambled_times()):
+            sim.schedule_at_fast(t, order.append, ("near", i, t))
+        sim.run(until=10.0)
+        return order, sim.events_executed
+
+    assert drive(True) == drive(False)
+
+
+def test_calendar_same_timestamp_ties_follow_scheduling_order():
+    def drive(calendar):
+        sim = Simulator(calendar=calendar)
+        order = []
+        for i in range(280):
+            sim.schedule_fast(2.0, order.append, ("ballast", i))
+        for i in range(40):
+            # Alternate the fast and handle paths at one shared timestamp:
+            # both tiers draw from the same sequence counter.
+            if i % 2:
+                sim.schedule_at_fast(1.0, order.append, ("fast", i))
+            else:
+                sim.schedule_at(1.0, order.append, ("handle", i))
+        sim.run(until=3.0)
+        return order
+
+    on = drive(True)
+    assert on == drive(False)
+    ties = [entry for entry in on if entry[0] != "ballast"]
+    assert [entry[1] for entry in ties] == list(range(40))
+
+
+def test_calendar_ring_wrap_reuses_slots():
+    """A reschedule chain crossing the ring horizon twice: exhausted
+    buckets must be recycled, not mistaken for live future ones."""
+    sim = Simulator()
+    for _ in range(280):
+        sim.schedule_fast(20.0, lambda: None)  # ballast keeps density up
+    state = {"count": 0}
+
+    def tick():
+        state["count"] += 1
+        if state["count"] < 1200:
+            sim.schedule_fast(0.004, tick)
+
+    sim.schedule_fast(0.004, tick)  # 1200 x 4 ms = 4.8 s ~ 2.3 ring spans
+    sim.run(until=21.0)
+    assert state["count"] == 1200
+    assert sim.events_executed == 280 + 1200
+
+
+def test_periodic_task_first_at_pins_the_grid():
+    sim = Simulator()
+    fires = []
+    sim.every(0.1, lambda: fires.append(sim.now), first_at=0.35)
+    sim.run(until=1.0)
+    assert fires[0] == pytest.approx(0.35)
+    assert len(fires) == 7  # 0.35, 0.45, ..., 0.95
+
+
+# ---------------------------------------------------------------------------
+# core epoch-timer parking
+# ---------------------------------------------------------------------------
+
+
+def test_idle_core_links_park_their_epoch_timers():
+    from repro.experiments.builder import CloudBuilder
+    from repro.experiments.topospec import FlowPathSpec, TopologySpec
+
+    builder = CloudBuilder(TopologySpec.chain(2), scheme="corelite", seed=0)
+    builder.add_flow(FlowPathSpec(1, weight=1.0, ingress_core="C1", egress_core="C2"))
+    builder.add_flow(FlowPathSpec(2, weight=2.0, ingress_core="C1", egress_core="C2"))
+    cloud = builder.build()
+    result = cloud.run(until=10.0)
+    assert sum(r.delivered for r in result.flows.values()) > 0
+    parked = []
+    for name in cloud.core_names:
+        router = cloud.core_router(name)
+        for link_name in router.enabled_links():
+            parked.append(router.machinery_for(link_name).parked)
+    # The uncongested access links (egress data, reverse feedback paths)
+    # go idle and pool their timers; a congested core link must not.
+    assert any(parked)
+
+
+def test_selective_fold_epoch_replays_wav_exactly():
+    import random
+
+    from repro.core.config import CoreliteConfig
+    from repro.core.selective_feedback import SelectiveFeedback
+
+    config = CoreliteConfig()
+    live = SelectiveFeedback(config, random.Random(1), lambda *a: None)
+    parked = SelectiveFeedback(config, random.Random(1), lambda *a: None)
+    counts = [3, 0, 0, 5, 1, 0]
+    now = 0.0
+    for count in counts:
+        for i in range(count):
+            live.observe(7, "E", 4.0 + i, now)
+            parked.observe(7, "E", 4.0 + i, now)  # markers still traverse
+        live.on_epoch(0, now)  # uncongested boundary, fired live
+        now += 0.1
+    for count in counts:  # the parked side replays the boundaries at once
+        parked.fold_epoch(count)
+    assert parked.wav == live.wav  # bit-identical, not approximately
+    assert parked.rav == live.rav
+    assert parked._epoch_marker_count == live._epoch_marker_count == 0
+    assert parked.pw == live.pw == 0.0
+
+
+# ---------------------------------------------------------------------------
+# flow-scale replay pins (PR 5 acceptance)
+# ---------------------------------------------------------------------------
+
+
+def _flow_scaling_fingerprint(*, packet_pool, calendar):
+    from repro.perf import _flow_scaling_cloud
+
+    cloud = _flow_scaling_cloud(
+        "corelite", 512, packet_pool=packet_pool, calendar=calendar
+    )
+    result = cloud.run(until=4.0, sample_interval=1.0)
+    flows = tuple(
+        (
+            fid,
+            rec.delivered,
+            rec.losses,
+            tuple(rec.rate_series.values),
+            tuple(rec.throughput_series.values),
+        )
+        for fid, rec in sorted(result.flows.items())
+    )
+    queues = tuple(
+        (name, tuple(sorted(link.queue.stats.as_dict().items())))
+        for name, link in sorted(cloud.topology.links.items())
+    )
+    return flows, queues, cloud.sim._next_pid, cloud.sim.events_executed
+
+
+def test_flow_scale_replay_byte_identical_across_optimizations():
+    """512 flows: figure-level outputs, every queue's counters, the packet
+    id counter and the executed-event count must not move when the packet
+    pool or the calendar tier is toggled."""
+    base = _flow_scaling_fingerprint(packet_pool=False, calendar=True)
+    assert _flow_scaling_fingerprint(packet_pool=True, calendar=True) == base
+    assert _flow_scaling_fingerprint(packet_pool=False, calendar=False) == base

@@ -355,7 +355,7 @@ def test_per_flow_packet_conservation(cloud):
 
     for spec in flows:
         fid = spec.flow_id
-        emitted = net.edges[spec.ingress_edge]._ingress[fid].seq
+        emitted = net.edges[spec.ingress_edge]._ingress_state(fid).seq
         delivered = net.edges[spec.egress_edge].delivered(fid)
         dropped = sum(q.dropped_by_flow.get(fid, 0) for q in queues)
         assert emitted == delivered + dropped, (
