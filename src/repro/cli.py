@@ -95,6 +95,27 @@ def _print_result(result: RunResult, window, chart: bool = True) -> None:
         )
     )
     print(f"total drops: {result.total_drops}   total losses: {result.total_losses()}")
+    if result.dynamics and result.dynamics.get("events"):
+        from repro.fairness.metrics import reconvergence_time, transient_dip
+
+        dyn = result.dynamics
+        event_time = max(event["time"] for event in dyn["events"])
+        throughput = {
+            fid: record.throughput_series for fid, record in result.flows.items()
+        }
+        settled = reconvergence_time(throughput, dyn["post_reference"], event_time)
+        dip = transient_dip(throughput, event_time)
+        print(
+            f"dynamics: {len(dyn['events'])} event(s), "
+            f"{dyn['reroutes']} reroute(s), "
+            f"{dyn['failure_drops']} failure drop(s)"
+        )
+        print(
+            "re-convergence after last event (t="
+            f"{event_time:g}s): "
+            + ("never settled" if settled is None else f"{settled:.1f} s to Jain>=0.9")
+            + f"   transient dip: {dip:.2f}x baseline"
+        )
     if chart:
         series = {
             str(fid): result.flows[fid].rate_series for fid in result.flow_ids[:9]

@@ -170,9 +170,14 @@ class CoreliteCoreRouter(Router):
     # -- data path --------------------------------------------------------
 
     def receive(self, packet: Packet, link: Link) -> None:
-        out_link = self._routes.get(packet.dst)
+        if self.multipath:
+            out_link = self.route_for_packet(packet)
+        else:
+            out_link = self._routes.get(packet.dst)
         if out_link is None:
-            # Defer to forward() for the error message.
+            # Defer to forward() for the drop-vs-raise decision.  (Safe
+            # under multipath: a None here means no candidate set either,
+            # so forward() cannot advance the flowlet counter twice.)
             self.forward(packet)
             return
         if packet.kind is _MARKER:
@@ -213,8 +218,15 @@ class CoreliteCoreRouter(Router):
         # unpark.  Park the timer and trap the link's send: with N flows,
         # the access links alone are 2N near-permanently poolable timers.
         # (Parking reads FIFO internals, so it requires the link's plain
-        # FIFO hot path — true for every builder-produced core link.)
-        if qavg == 0.0 and not queue._items and machinery.link._plain_fifo:
+        # FIFO hot path — true for every builder-produced core link.  A
+        # failed link never parks: its ``send`` is the refuse-all stub
+        # and the wake trap must not wrap it.)
+        if (
+            qavg == 0.0
+            and not queue._items
+            and machinery.link._plain_fifo
+            and machinery.link.up
+        ):
             self._park(machinery)
 
     def _park(self, machinery: _LinkMachinery) -> None:
@@ -244,6 +256,20 @@ class CoreliteCoreRouter(Router):
             return _m.saved_send(packet)
 
         link.send = waking_send
+
+    def force_unpark(self, link_name: str) -> None:
+        """Unpark ``link_name``'s epoch machinery if it is parked.
+
+        The dynamics layer calls this just before failing a link: parking
+        wraps the link's ``send`` in the wake trap, and a failure that
+        rebound ``send`` underneath the trap would corrupt the restore
+        chain.  Unparking replays the skipped epoch folds and re-arms the
+        timer on its original grid, after which the failure proceeds on a
+        trap-free link.  A no-op for unparked or non-enabled links.
+        """
+        machinery = self._machinery.get(link_name)
+        if machinery is not None and machinery.parked_at is not None:
+            self._unpark(machinery)
 
     def _note_parked_marker(self, machinery: _LinkMachinery) -> None:
         """A marker is traversing a parked link: bin it into the virtual

@@ -111,9 +111,12 @@ class CsfqCoreRouter(Router):
     # -- data path --------------------------------------------------------
 
     def receive(self, packet: Packet, link: Link) -> None:
-        out_link = self.route_for(packet.dst)
+        if self.multipath:
+            out_link = self.route_for_packet(packet)
+        else:
+            out_link = self.route_for(packet.dst)
         if out_link is None:
-            self.forward(packet)  # raises with a useful message
+            self.forward(packet)  # raises (or drop-counts) appropriately
             return
         state = self._states.get(out_link.name)
         if state is None or packet.kind != PacketKind.DATA:

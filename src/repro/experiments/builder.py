@@ -35,7 +35,10 @@ from repro.experiments.runner import FlowRecord, RunResult
 from repro.experiments.topospec import FlowPathSpec, LinkSpec, TopologySpec
 from repro.fairness.maxmin import FlowDemand, weighted_maxmin
 from repro.sim.control import ControlPlane
+from repro.sim.dynamics import NetworkDynamics
 from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.node import Router
 from repro.sim.monitor import Series
 from repro.sim.packet import Packet, PacketPool
 from repro.sim.queues import DropTailQueue
@@ -137,6 +140,14 @@ class SchemeStrategy:
             "(a Corelite edge feature)"
         )
 
+    def prepare_link_failure(self, cloud: "Cloud", link: Link) -> None:
+        """Scheme hook run just before ``link`` fails (default: nothing).
+
+        Corelite uses this to force-unpark a parked epoch timer so the
+        failure never rebinds ``send`` underneath the parking trap.
+        """
+        return None
+
 
 class CoreliteStrategy(SchemeStrategy):
     """Corelite cores and edges (paper §2-§3 mechanisms end to end)."""
@@ -224,6 +235,12 @@ class CoreliteStrategy(SchemeStrategy):
         ingress.attach_microflows(spec.flow_id, mux)
         cloud._muxes[spec.flow_id] = mux
         return mux
+
+    def prepare_link_failure(self, cloud: "Cloud", link: Link) -> None:
+        core = cloud.topology.nodes.get(link.src_name)
+        force_unpark = getattr(core, "force_unpark", None)
+        if force_unpark is not None:
+            force_unpark(link.name)
 
 
 class CsfqStrategy(SchemeStrategy):
@@ -375,6 +392,9 @@ class Cloud:
         self.core_names: List[str] = list(spec.cores)
         self.edges: Dict[str, object] = {}
         self.flows: Dict[int, FlowPathSpec] = {}
+        #: Topology-event executor (built at finalize when the spec has
+        #: events; None for static scenarios).
+        self.dynamics: Optional[NetworkDynamics] = None
         self._finalized = False
         #: Non-edge routing destinations (end hosts of TCP flows).
         self._extra_destinations: List[str] = []
@@ -389,6 +409,7 @@ class Cloud:
         self._queue_factory = queue_factory or default_queue_factory
         self._explicit_queue_factory = queue_factory is not None
 
+        self.topology.set_routing(spec.routing_mode, spec.ecmp_flowlet_n_packets)
         for name in self.core_names:
             self.topology.add_node(self._make_core(name))
         for link in spec.links:
@@ -494,6 +515,22 @@ class Cloud:
         self._check_routability()
         self._enable_core_links()
         self._admit_contracts()
+        if self.spec.events:
+            self.dynamics = NetworkDynamics(
+                self.sim,
+                self.topology,
+                self.spec.events,
+                control=self.control,
+                reroute_latency=self.spec.reroute_latency,
+                pre_fail_hooks=(
+                    lambda link: self.strategy.prepare_link_failure(self, link),
+                ),
+            )
+            # A failure may legally partition the graph mid-run: table
+            # misses become counted drops instead of crashes.
+            for node in self.topology.nodes.values():
+                if isinstance(node, Router):
+                    node.drop_unrouted = True
         self._finalized = True
 
     def _check_routability(self) -> None:
@@ -570,6 +607,27 @@ class Cloud:
         if not demands:
             return {}
         return weighted_maxmin(self.link_capacities(), demands)
+
+    def _post_event_reference(self) -> Dict[int, float]:
+        """Weighted max-min reference over the *current* (post-event)
+        topology, tolerant of partitioned flows (their expectation is 0)."""
+        demands = []
+        disconnected = []
+        for fid, spec in self.flows.items():
+            try:
+                path = self.flow_path_links(fid)
+            except RoutingError:
+                disconnected.append(fid)
+                continue
+            demands.append(
+                FlowDemand(fid, spec.weight, path, demand=self._flow_demand(spec))
+            )
+        reference = (
+            weighted_maxmin(self.link_capacities(), demands) if demands else {}
+        )
+        for fid in disconnected:
+            reference[fid] = 0.0
+        return reference
 
     # -- scheme-specific accessors ----------------------------------------
 
@@ -659,6 +717,12 @@ class Cloud:
                 demand=self._flow_demand(spec),
             )
 
+        if self.dynamics is not None:
+            # Scheduled after the flow on/off events: at an equal
+            # timestamp, flow transitions precede the topology change
+            # (the engine breaks ties by insertion order).
+            self.dynamics.schedule(until)
+
         queue_series: Dict[str, Series] = {}
         core_links = []
         if record_queues:
@@ -692,6 +756,22 @@ class Cloud:
             if spec.micro_flows:
                 records[fid].micro_delivered = egress.delivered_by_micro(fid)
 
+        dynamics_summary = None
+        if self.dynamics is not None:
+            # The reference allocation is water-filled over the *final*
+            # paths (post-event topology): the re-convergence metrics
+            # compare measured throughput against what weighted max-min
+            # grants on the network the flows actually ended up on.
+            dynamics_summary = {
+                "events": [
+                    event.to_dict() for _t, event in self.dynamics.applied
+                ],
+                "reroutes": self.dynamics.reroutes,
+                "failure_drops": self.dynamics.failure_drops(),
+                "control_unroutable": self.control.unroutable,
+                "post_reference": self._post_event_reference(),
+            }
+
         return RunResult(
             scheme=self.scheme,
             duration=until,
@@ -700,6 +780,7 @@ class Cloud:
             total_drops=self.topology.total_drops(),
             seed=self.seed,
             queue_series=queue_series if record_queues else None,
+            dynamics=dynamics_summary,
         )
 
 

@@ -45,7 +45,11 @@ from repro._version import __version__
 from repro.errors import ConfigurationError
 from repro.experiments.replication import MetricSummary, summarize_metrics
 from repro.experiments.runner import FlowRecord, RunResult
-from repro.fairness.metrics import weighted_jain_index
+from repro.fairness.metrics import (
+    reconvergence_time,
+    transient_dip,
+    weighted_jain_index,
+)
 from repro.sim.monitor import Series
 from repro.sim.rng import derive_seed
 
@@ -66,7 +70,7 @@ __all__ = [
 ]
 
 #: Bump when the cached payload layout changes; part of every cache key.
-CACHE_FORMAT = 1
+CACHE_FORMAT = 2
 
 
 def _canonical_json(value: object, where: str) -> str:
@@ -232,6 +236,18 @@ def result_to_payload(result: RunResult) -> Dict:
             name: _series_rows(series)
             for name, series in result.queue_series.items()
         },
+        "dynamics": None
+        if result.dynamics is None
+        else {
+            "events": list(result.dynamics["events"]),
+            "reroutes": result.dynamics["reroutes"],
+            "failure_drops": result.dynamics["failure_drops"],
+            "control_unroutable": result.dynamics["control_unroutable"],
+            "post_reference": {
+                str(fid): rate
+                for fid, rate in result.dynamics["post_reference"].items()
+            },
+        },
     }
 
 
@@ -265,6 +281,18 @@ def result_from_payload(payload: Mapping) -> RunResult:
         name: _series_from_rows(f"queue:{name}", rows)
         for name, rows in payload.get("queue_series", {}).items()
     }
+    dynamics = payload.get("dynamics")
+    if dynamics is not None:
+        dynamics = {
+            "events": list(dynamics["events"]),
+            "reroutes": dynamics["reroutes"],
+            "failure_drops": dynamics["failure_drops"],
+            "control_unroutable": dynamics["control_unroutable"],
+            "post_reference": {
+                int(fid): rate
+                for fid, rate in dynamics["post_reference"].items()
+            },
+        }
     return RunResult(
         scheme=payload["scheme"],
         duration=payload["duration"],
@@ -273,6 +301,7 @@ def result_from_payload(payload: Mapping) -> RunResult:
         total_drops=payload["total_drops"],
         seed=payload["seed"],
         queue_series=queue_series or None,
+        dynamics=dynamics,
     )
 
 
@@ -486,7 +515,14 @@ def mean_ci(values: Sequence[float]) -> Tuple[float, float]:
 
 
 def scalar_metrics(result: RunResult, window: Tuple[float, float]) -> Dict[str, float]:
-    """The default per-run scalars: weighted Jain, delivered, losses, drops."""
+    """The default per-run scalars: weighted Jain, delivered, losses, drops.
+
+    Runs with topology dynamics additionally report the re-convergence
+    family: ``reconvergence_time`` (seconds from the last event until the
+    Jain index of throughput-over-reference stays >= 0.9; -1.0 when the
+    run never re-converged) and ``transient_dip`` (worst post-event
+    aggregate throughput relative to the pre-event baseline).
+    """
     rates = result.mean_rates(window)
     ids = sorted(rates)
     weights = result.weights()
@@ -500,6 +536,16 @@ def scalar_metrics(result: RunResult, window: Tuple[float, float]) -> Dict[str, 
         "losses": float(result.total_losses()),
         "drops": float(result.total_drops),
     }
+    dynamics = getattr(result, "dynamics", None)
+    if dynamics and dynamics.get("events"):
+        event_time = max(event["time"] for event in dynamics["events"])
+        throughput = {
+            fid: record.throughput_series for fid, record in result.flows.items()
+        }
+        reference = dynamics["post_reference"]
+        settled = reconvergence_time(throughput, reference, event_time)
+        metrics["reconvergence_time"] = -1.0 if settled is None else settled
+        metrics["transient_dip"] = transient_dip(throughput, event_time)
     return metrics
 
 

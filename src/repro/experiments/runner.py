@@ -62,6 +62,7 @@ class RunResult:
         total_drops: int,
         seed: int,
         queue_series: Optional[Dict[str, Series]] = None,
+        dynamics: Optional[Dict] = None,
     ) -> None:
         self.scheme = scheme
         self.duration = duration
@@ -71,6 +72,9 @@ class RunResult:
         self.seed = seed
         #: Per-link queue occupancy samples (only when the run recorded them).
         self.queue_series: Dict[str, Series] = queue_series or {}
+        #: Topology-dynamics summary (events applied, reroutes, failure
+        #: drops, post-event reference rates); None for static runs.
+        self.dynamics: Optional[Dict] = dynamics
 
     # -- basic accessors -------------------------------------------------
 

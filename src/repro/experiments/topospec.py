@@ -18,7 +18,17 @@ Canned shapes cover the workloads the fairness literature argues about:
   against per-hop cross traffic (the classic weighted max-min stressor);
 * :meth:`TopologySpec.star` — a hub-and-spoke cloud;
 * :meth:`TopologySpec.mesh` — a multi-bottleneck diamond-plus-chord mesh
-  with heterogeneous link capacities.
+  with heterogeneous link capacities;
+* :meth:`TopologySpec.leaf_spine` — a 2-tier Clos fabric where every
+  leaf pair has one equal-cost path per spine (ECMP by default);
+* :meth:`TopologySpec.fat_tree` — the 3-tier k-ary fat tree
+  (edge/aggregation pods under a core layer, ECMP by default).
+
+A spec may also carry *dynamics*: a schedule of
+:class:`~repro.sim.dynamics.NetworkEvent` link failures/recoveries
+(``events``), the control-plane convergence delay between an event and
+the reroute (``reroute_latency``), and the multipath knobs
+(``routing_mode``, ``ecmp_flowlet_n_packets``).
 
 Validation errors always name the offending field and value, so a typo in
 a scenario file fails at spec time with a readable message instead of
@@ -32,7 +42,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import FlowError, TopologyError
+from repro.sim.dynamics import NetworkEvent
 from repro.sim.sources import SourceSpec
+from repro.sim.topology import ROUTING_MODES
 from repro.units import ms_to_s
 
 __all__ = [
@@ -104,9 +116,10 @@ class LinkSpec:
 
 
 _TOPOLOGY_KEYS = {
-    "kind", "name", "num_cores", "hops", "spokes", "capacity_pps",
-    "prop_delay", "cores", "links", "access_capacity_pps",
-    "access_prop_delay", "queue_capacity",
+    "kind", "name", "num_cores", "hops", "spokes", "leaves", "spines", "k",
+    "capacity_pps", "prop_delay", "cores", "links", "access_capacity_pps",
+    "access_prop_delay", "queue_capacity", "events", "routing_mode",
+    "ecmp_flowlet_n_packets", "reroute_latency",
 }
 
 
@@ -128,6 +141,21 @@ class TopologySpec:
         Capacity and delay of every per-flow edge-to-core access link.
     queue_capacity:
         Default buffer size (packets) for every link without an override.
+    events:
+        Scheduled :class:`~repro.sim.dynamics.NetworkEvent` link
+        failures/recoveries.  Each event must name an existing duplex
+        link; same-timestamp events execute in declaration order.
+    routing_mode:
+        ``"static"`` (single shortest path, the paper's regime),
+        ``"ecmp"`` (per-flow hashing over equal-cost next hops) or
+        ``"ecmp_flowlet"`` (re-hash every ``ecmp_flowlet_n_packets``
+        data packets).
+    ecmp_flowlet_n_packets:
+        Flowlet length in data packets for ``ecmp_flowlet`` mode.
+    reroute_latency:
+        Seconds between a topology event and the route-table swap
+        (control-plane convergence delay); 0 means atomic rerouting at
+        the event timestamp.
     """
 
     links: Tuple[LinkSpec, ...]
@@ -136,6 +164,10 @@ class TopologySpec:
     access_capacity_pps: float = 500.0
     access_prop_delay: float = ms_to_s(40.0)
     queue_capacity: float = 40.0
+    events: Tuple[NetworkEvent, ...] = ()
+    routing_mode: str = "static"
+    ecmp_flowlet_n_packets: int = 32
+    reroute_latency: float = 0.0
 
     def __post_init__(self) -> None:
         if not isinstance(self.links, tuple):
@@ -199,6 +231,34 @@ class TopologySpec:
             raise TopologyError(
                 f"topology {self.name!r}: queue_capacity must be > 0, "
                 f"got {self.queue_capacity!r}"
+            )
+        if not isinstance(self.events, tuple):
+            object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if not isinstance(event, NetworkEvent):
+                raise TopologyError(
+                    f"topology {self.name!r}: events must be NetworkEvent "
+                    f"instances, got {type(event).__name__}"
+                )
+            if frozenset((event.a, event.b)) not in pairs:
+                raise TopologyError(
+                    f"topology {self.name!r}: event at t={event.time:g} "
+                    f"references unknown link {event.a!r}-{event.b!r}"
+                )
+        if self.routing_mode not in ROUTING_MODES:
+            raise TopologyError(
+                f"topology {self.name!r}: unknown routing_mode "
+                f"{self.routing_mode!r} (known: {list(ROUTING_MODES)})"
+            )
+        if self.ecmp_flowlet_n_packets < 1:
+            raise TopologyError(
+                f"topology {self.name!r}: ecmp_flowlet_n_packets must be "
+                f">= 1, got {self.ecmp_flowlet_n_packets!r}"
+            )
+        if self.reroute_latency < 0 or math.isinf(self.reroute_latency):
+            raise TopologyError(
+                f"topology {self.name!r}: reroute_latency must be a "
+                f"non-negative finite value, got {self.reroute_latency!r}"
             )
 
     # -- canned shapes ---------------------------------------------------
@@ -303,6 +363,91 @@ class TopologySpec:
         return cls(links=links, cores=("A", "B", "C", "D"), **kwargs)
 
     @classmethod
+    def leaf_spine(
+        cls,
+        leaves: int = 3,
+        spines: int = 2,
+        capacity_pps: float = 500.0,
+        prop_delay: float = ms_to_s(10.0),
+        **kwargs,
+    ) -> "TopologySpec":
+        """A 2-tier Clos fabric: every leaf connects to every spine.
+
+        With uniform capacities and delays, each leaf pair has exactly
+        ``spines`` equal-cost 2-hop paths, so the spec defaults to
+        ``routing_mode="ecmp"`` — the canonical multipath workload.
+        Losing one leaf-spine link leaves the fabric connected (for
+        ``spines >= 2``) and funnels that leaf's traffic onto the
+        surviving spines: the textbook failover scenario.
+        """
+        if leaves < 2:
+            raise TopologyError(
+                f"topology 'leaf_spine': leaves must be >= 2, got {leaves}"
+            )
+        if spines < 1:
+            raise TopologyError(
+                f"topology 'leaf_spine': spines must be >= 1, got {spines}"
+            )
+        links = tuple(
+            LinkSpec(f"L{i}", f"S{j}", capacity_pps, prop_delay)
+            for i in range(1, leaves + 1)
+            for j in range(1, spines + 1)
+        )
+        cores = tuple(f"L{i}" for i in range(1, leaves + 1)) + tuple(
+            f"S{j}" for j in range(1, spines + 1)
+        )
+        kwargs.setdefault("name", f"leaf-spine-{leaves}x{spines}")
+        kwargs.setdefault("routing_mode", "ecmp")
+        return cls(links=links, cores=cores, **kwargs)
+
+    @classmethod
+    def fat_tree(
+        cls,
+        k: int = 2,
+        capacity_pps: float = 500.0,
+        prop_delay: float = ms_to_s(10.0),
+        **kwargs,
+    ) -> "TopologySpec":
+        """The 3-tier k-ary fat tree (k even): ``k`` pods of ``k/2``
+        edge + ``k/2`` aggregation switches under ``(k/2)^2`` cores.
+
+        Pod ``p`` has edges ``P{p}E{i}`` and aggregations ``P{p}A{j}``
+        (full bipartite within the pod); aggregation ``j`` of every pod
+        connects to cores ``C{(j-1)*k/2+1} .. C{j*k/2}``.  Flow
+        endpoints attach to the edge switches.  Uniform capacities give
+        inter-pod edge pairs ``(k/2)^2`` equal-cost paths, so the spec
+        defaults to ``routing_mode="ecmp"``.
+        """
+        if k < 2 or k % 2 != 0:
+            raise TopologyError(
+                f"topology 'fat_tree': k must be an even integer >= 2, got {k}"
+            )
+        half = k // 2
+        links: List[LinkSpec] = []
+        cores: List[str] = []
+        for p in range(1, k + 1):
+            for i in range(1, half + 1):
+                cores.append(f"P{p}E{i}")
+            for j in range(1, half + 1):
+                cores.append(f"P{p}A{j}")
+            for i in range(1, half + 1):
+                for j in range(1, half + 1):
+                    links.append(
+                        LinkSpec(f"P{p}E{i}", f"P{p}A{j}", capacity_pps, prop_delay)
+                    )
+        for c in range(1, half * half + 1):
+            cores.append(f"C{c}")
+        for p in range(1, k + 1):
+            for j in range(1, half + 1):
+                for c in range((j - 1) * half + 1, j * half + 1):
+                    links.append(
+                        LinkSpec(f"P{p}A{j}", f"C{c}", capacity_pps, prop_delay)
+                    )
+        kwargs.setdefault("name", f"fat-tree-{k}")
+        kwargs.setdefault("routing_mode", "ecmp")
+        return cls(links=tuple(links), cores=tuple(cores), **kwargs)
+
+    @classmethod
     def from_core_links(
         cls,
         core_links: Sequence[Sequence],
@@ -353,9 +498,17 @@ class TopologySpec:
         kind = raw.get("kind", "custom")
         common = {}
         for key in ("name", "access_capacity_pps", "access_prop_delay",
-                    "queue_capacity"):
+                    "queue_capacity", "routing_mode"):
             if key in raw:
                 common[key] = raw[key]
+        if "events" in raw:
+            common["events"] = tuple(
+                NetworkEvent.from_dict(entry) for entry in raw["events"]
+            )
+        if "ecmp_flowlet_n_packets" in raw:
+            common["ecmp_flowlet_n_packets"] = int(raw["ecmp_flowlet_n_packets"])
+        if "reroute_latency" in raw:
+            common["reroute_latency"] = float(raw["reroute_latency"])
         sized = {}
         for key in ("capacity_pps", "prop_delay"):
             if key in raw:
@@ -368,6 +521,13 @@ class TopologySpec:
             return cls.star(int(raw.get("spokes", 3)), **sized, **common)
         if kind == "mesh":
             return cls.mesh(**sized, **common)
+        if kind == "leaf_spine":
+            return cls.leaf_spine(
+                int(raw.get("leaves", 3)), int(raw.get("spines", 2)),
+                **sized, **common,
+            )
+        if kind == "fat_tree":
+            return cls.fat_tree(int(raw.get("k", 2)), **sized, **common)
         if kind == "custom":
             if "links" not in raw:
                 raise TopologyError(
@@ -384,7 +544,7 @@ class TopologySpec:
 
     def to_dict(self) -> Dict:
         """Render as the JSON shape :meth:`from_dict` accepts."""
-        return {
+        raw = {
             "kind": "custom",
             "name": self.name,
             "cores": list(self.cores),
@@ -393,6 +553,14 @@ class TopologySpec:
             "access_prop_delay": self.access_prop_delay,
             "queue_capacity": self.queue_capacity,
         }
+        if self.events:
+            raw["events"] = [event.to_dict() for event in self.events]
+        if self.routing_mode != "static":
+            raw["routing_mode"] = self.routing_mode
+            raw["ecmp_flowlet_n_packets"] = self.ecmp_flowlet_n_packets
+        if self.reroute_latency > 0.0:
+            raw["reroute_latency"] = self.reroute_latency
+        return raw
 
     # -- queries ---------------------------------------------------------
 
@@ -416,6 +584,8 @@ CANNED_TOPOLOGIES = {
     "parking_lot": TopologySpec.parking_lot,
     "star": TopologySpec.star,
     "mesh": TopologySpec.mesh,
+    "leaf_spine": TopologySpec.leaf_spine,
+    "fat_tree": TopologySpec.fat_tree,
 }
 
 

@@ -22,6 +22,9 @@ __all__ = [
     "max_relative_error",
     "convergence_time",
     "time_in_band",
+    "weighted_jain_series",
+    "reconvergence_time",
+    "transient_dip",
 ]
 
 
@@ -155,3 +158,130 @@ def time_in_band(
     band = tolerance * target
     hits = sum(1 for v in window.values if abs(v - target) <= band)
     return hits / len(window)
+
+
+# -- re-convergence after topology events ------------------------------
+
+
+def _aligned_series(
+    series_by_flow: Mapping[object, Series],
+) -> tuple:
+    """Sorted flow ids + the shared sample grid, validating alignment."""
+    if not series_by_flow:
+        raise ConfigurationError("need at least one flow series")
+    ids = sorted(series_by_flow)
+    times = list(series_by_flow[ids[0]].times)
+    for fid in ids[1:]:
+        if list(series_by_flow[fid].times) != times:
+            raise ConfigurationError(
+                f"flow {fid!r}: series not sampled on the shared grid "
+                "(all flows must come from one run's sampler)"
+            )
+    return ids, times
+
+
+def weighted_jain_series(
+    series_by_flow: Mapping[object, Series],
+    weights: Mapping[object, float],
+) -> Series:
+    """Per-sample weighted Jain index over a run's rate series.
+
+    ``series_by_flow`` maps flow id to its sampled rate/throughput
+    :class:`Series` (all on the same sample grid — one run's sampler
+    produces exactly that); ``weights`` maps flow id to the
+    normalization divisor, either the paper's ``w(f)`` or a reference
+    allocation (see :func:`reconvergence_time`).  Flows whose weight is
+    0 are excluded from the index (a partitioned flow's fair share *is*
+    zero — its starvation is correct, not unfair).
+    """
+    ids, times = _aligned_series(series_by_flow)
+    missing = [fid for fid in ids if fid not in weights]
+    if missing:
+        raise ConfigurationError(f"weights missing for flows {missing!r}")
+    active = [fid for fid in ids if weights[fid] > 0]
+    if not active:
+        raise ConfigurationError("no flow has a positive weight")
+    columns = [series_by_flow[fid].values for fid in active]
+    divisors = [weights[fid] for fid in active]
+    out = Series("weighted-jain")
+    for k, t in enumerate(times):
+        out.append(
+            t, jain_index([col[k] / w for col, w in zip(columns, divisors)])
+        )
+    return out
+
+
+def reconvergence_time(
+    series_by_flow: Mapping[object, Series],
+    reference: Mapping[object, float],
+    event_time: float,
+    threshold: float = 0.9,
+    hold: float = 0.0,
+) -> Optional[float]:
+    """Time-to-X% fairness after a topology event.
+
+    Computes the per-sample Jain index of ``rate / reference`` (with
+    ``reference`` the post-event weighted max-min allocation — on a
+    multi-bottleneck graph the *weights* alone cannot score a converged
+    state as 1.0, the reference allocation can) and returns how many
+    seconds after ``event_time`` the index first rises to ``threshold``
+    and stays there for the rest of the series.  Requires the series to
+    extend at least ``hold`` seconds past the settling sample.  Returns
+    ``None`` if fairness never re-converges within the series.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ConfigurationError(
+            f"threshold must be in (0, 1], got {threshold!r}"
+        )
+    jain = weighted_jain_series(series_by_flow, reference)
+    settle: Optional[float] = None
+    for t, v in zip(jain.times, jain.values):
+        if t < event_time:
+            continue
+        if v >= threshold:
+            if settle is None:
+                settle = t
+        else:
+            settle = None
+    if settle is None:
+        return None
+    if jain.times[-1] - settle < hold:
+        return None
+    return settle - event_time
+
+
+def transient_dip(
+    series_by_flow: Mapping[object, Series],
+    event_time: float,
+    baseline_window: float = 10.0,
+) -> float:
+    """Worst post-event aggregate throughput, relative to pre-event.
+
+    Averages the summed per-flow series over the ``baseline_window``
+    seconds before ``event_time`` and returns ``min(post) / baseline``
+    — 1.0 means the event caused no aggregate throughput dip at all,
+    0.0 means delivery stopped entirely at some sample.  Values above
+    1.0 are possible when the event *added* capacity (a recovery).
+    """
+    ids, times = _aligned_series(series_by_flow)
+    columns = [series_by_flow[fid].values for fid in ids]
+    aggregate = [sum(col[k] for col in columns) for k in range(len(times))]
+    baseline_samples = [
+        total
+        for t, total in zip(times, aggregate)
+        if event_time - baseline_window <= t < event_time
+    ]
+    if not baseline_samples:
+        raise ConfigurationError(
+            f"no samples in the {baseline_window:g}s before the event at "
+            f"t={event_time:g}"
+        )
+    baseline = sum(baseline_samples) / len(baseline_samples)
+    if baseline <= 0.0:
+        raise ConfigurationError(
+            "pre-event aggregate throughput is zero; the dip is undefined"
+        )
+    post = [total for t, total in zip(times, aggregate) if t >= event_time]
+    if not post:
+        return 1.0
+    return min(post) / baseline

@@ -18,7 +18,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, Optional, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, RoutingError
 from repro.sim.engine import Simulator
 from repro.sim.packet import Packet
 from repro.sim.topology import Topology
@@ -49,6 +49,8 @@ class ControlPlane:
         self.delivered = 0
         #: Control packets lost by the injected fault model.
         self.lost = 0
+        #: Control packets that found no reverse path (network partition).
+        self.unroutable = 0
 
     def delay(self, src: str, dst: str) -> float:
         """Propagation delay from ``src`` to ``dst`` (cached)."""
@@ -58,6 +60,11 @@ class ControlPlane:
             delay = self.topology.path_delay(src, dst)
             self._delay_cache[key] = delay
         return delay
+
+    def invalidate_paths(self) -> None:
+        """Forget cached path delays — called after the topology changes,
+        so feedback latency tracks the paths packets actually take."""
+        self._delay_cache.clear()
 
     def send(
         self,
@@ -69,13 +76,20 @@ class ControlPlane:
         """Deliver ``packet`` to ``deliver`` after the src->dst path delay.
 
         With a configured ``loss_prob`` the packet may silently vanish
-        instead (counted in :attr:`lost`).
+        instead (counted in :attr:`lost`).  A packet whose endpoints a
+        link failure has partitioned is counted in :attr:`unroutable`
+        and dropped — real feedback datagrams die the same way.
         """
         if self.loss_prob > 0.0 and self._rng.random() < self.loss_prob:
             self.lost += 1
             return
+        try:
+            delay = self.delay(src, dst)
+        except RoutingError:
+            self.unroutable += 1
+            return
         # Control deliveries are never cancelled: use the no-handle path.
-        self.sim.schedule_fast(self.delay(src, dst), self._deliver, deliver, packet)
+        self.sim.schedule_fast(delay, self._deliver, deliver, packet)
 
     def _deliver(self, deliver: Callable[[Packet], None], packet: Packet) -> None:
         self.delivered += 1

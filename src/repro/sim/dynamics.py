@@ -1,0 +1,242 @@
+"""Scheduled topology dynamics: link failure, recovery and rerouting.
+
+Every scenario before this module ran on a static graph.  A
+:class:`NetworkEvent` schedule makes the graph itself part of the
+workload: at a declared simulation time a duplex link goes down (both
+directions fail atomically) or comes back up, and the forwarding tables
+are recomputed against the live adjacency.  This is the churn regime the
+paper leaves open — does edge-to-edge feedback re-converge to weighted
+fairness when the paths under it move?
+
+Determinism contract (replays must stay byte-identical):
+
+* Events are scheduled through :meth:`Simulator.schedule_at`, so two
+  events at the same timestamp execute in *declaration order* (the
+  engine breaks ties by insertion sequence).
+* Packets in flight on a failed link are stranded by a generation check
+  (:meth:`repro.sim.link.Link.fail` bumps the link's generation; the
+  delivery closure captured the old one), so the drop decision depends
+  only on send/fail ordering — never on wall-clock races or on whether
+  the link recovered before the delivery event fired.
+* Route recomputation is a full deterministic Dijkstra re-run over the
+  surviving adjacency followed by an atomic table swap
+  (:meth:`repro.sim.topology.Topology.rebuild_routes`); no packet ever
+  sees a half-updated table.
+
+``reroute_latency`` models the control-plane convergence delay between a
+topology change and the moment the new tables are installed: with a
+non-zero latency the network keeps forwarding on the stale tables (and
+dropping at the dead link) until the reroute fires, which is exactly the
+transient the re-convergence metrics measure.  Each event schedules its
+own reroute, so a recovery that lands before a failure's pending reroute
+simply results in two recomputations over whatever the adjacency is at
+each fire time — recomputation is idempotent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.topology import Topology
+
+__all__ = ["EVENT_KINDS", "NetworkEvent", "NetworkDynamics"]
+
+#: Event kinds understood by the schedule executor.
+EVENT_KINDS = ("link_down", "link_up")
+
+
+@dataclass(frozen=True)
+class NetworkEvent:
+    """One scheduled topology change: a duplex link goes down or up.
+
+    Attributes
+    ----------
+    time:
+        Simulation time (seconds, >= 0) at which the event executes.
+    kind:
+        ``"link_down"`` or ``"link_up"``.
+    a / b:
+        The two endpoints of the duplex link, in either order (both
+        unidirectional halves change state together).
+    """
+
+    time: float
+    kind: str
+    a: str
+    b: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ConfigurationError(
+                f"network event: unknown kind {self.kind!r} "
+                f"(known: {list(EVENT_KINDS)})"
+            )
+        if not (self.time >= 0.0):
+            raise ConfigurationError(
+                f"network event {self.kind!r}: time must be >= 0, "
+                f"got {self.time!r}"
+            )
+        for end, name in (("a", self.a), ("b", self.b)):
+            if not name or not isinstance(name, str):
+                raise ConfigurationError(
+                    f"network event {self.kind!r}: end {end!r} must be a "
+                    f"non-empty node name, got {name!r}"
+                )
+        if self.a == self.b:
+            raise ConfigurationError(
+                f"network event {self.kind!r}: endpoints must differ "
+                f"(both are {self.a!r})"
+            )
+
+    @property
+    def pair(self) -> Tuple[str, str]:
+        """The duplex link's endpoints as a sorted, order-free key."""
+        return (self.a, self.b) if self.a <= self.b else (self.b, self.a)
+
+    @classmethod
+    def from_dict(cls, raw: Mapping) -> "NetworkEvent":
+        """Build from ``{"time": t, "kind": k, "link": [a, b]}``."""
+        if not isinstance(raw, Mapping):
+            raise ConfigurationError(
+                f"network event: expected a mapping, got {type(raw).__name__}"
+            )
+        unknown = set(raw) - {"time", "kind", "link"}
+        if unknown:
+            raise ConfigurationError(
+                f"network event: unknown keys {sorted(unknown)} "
+                "(known: ['kind', 'link', 'time'])"
+            )
+        for key in ("time", "kind", "link"):
+            if key not in raw:
+                raise ConfigurationError(f"network event: missing key {key!r}")
+        link = raw["link"]
+        if not isinstance(link, Sequence) or isinstance(link, str) or len(link) != 2:
+            raise ConfigurationError(
+                f"network event: 'link' must be a [a, b] pair, got {link!r}"
+            )
+        return cls(
+            time=float(raw["time"]),
+            kind=str(raw["kind"]),
+            a=str(link[0]),
+            b=str(link[1]),
+        )
+
+    def to_dict(self) -> Dict:
+        return {"time": self.time, "kind": self.kind, "link": [self.a, self.b]}
+
+
+class NetworkDynamics:
+    """Executes a :class:`NetworkEvent` schedule against a live topology.
+
+    Binds each event to the pair of unidirectional :class:`Link` objects
+    of its duplex link at construction time (unknown links fail fast,
+    before any simulation runs) and arms every link that appears in the
+    schedule for dynamics (generation-checked deliveries).
+
+    ``pre_fail_hooks`` run for each unidirectional link just before it
+    fails — the Corelite strategy uses this to force-unpark a parked
+    epoch timer so the parking trap never wraps a dead link's ``send``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        events: Sequence[NetworkEvent],
+        control=None,
+        reroute_latency: float = 0.0,
+        pre_fail_hooks: Sequence[Callable[[Link], None]] = (),
+    ) -> None:
+        if reroute_latency < 0:
+            raise ConfigurationError(
+                f"reroute_latency must be >= 0, got {reroute_latency!r}"
+            )
+        self.sim = sim
+        self.topology = topology
+        self.control = control
+        self.reroute_latency = reroute_latency
+        self.events: Tuple[NetworkEvent, ...] = tuple(events)
+        self._pre_fail_hooks = tuple(pre_fail_hooks)
+        #: Executed events as ``(fire_time, event)`` in execution order.
+        self.applied: List[Tuple[float, NetworkEvent]] = []
+        #: Route recomputations performed so far.
+        self.reroutes = 0
+        self._links_for: Dict[Tuple[str, str], Tuple[Link, ...]] = {}
+        for event in self.events:
+            if event.pair in self._links_for:
+                continue
+            members = tuple(
+                link
+                for link in topology.links.values()
+                if {link.src_name, link.dst.name} == {event.a, event.b}
+            )
+            if not members:
+                raise TopologyError(
+                    f"network event at t={event.time:g}: no link between "
+                    f"{event.a!r} and {event.b!r} in the topology"
+                )
+            for link in members:
+                link.enable_dynamics()
+            self._links_for[event.pair] = members
+
+    def links_of(self, event: NetworkEvent) -> Tuple[Link, ...]:
+        """The unidirectional links the event acts on (for tests)."""
+        return self._links_for[event.pair]
+
+    def schedule(self, until: float) -> None:
+        """Arm every event with ``time <= until`` on the simulator."""
+        for event in self.events:
+            if event.time <= until:
+                self.sim.schedule_at(event.time, self._execute, event)
+
+    # -- execution -------------------------------------------------------
+
+    def _execute(self, event: NetworkEvent) -> None:
+        links = self._links_for[event.pair]
+        if event.kind == "link_down":
+            for link in links:
+                for hook in self._pre_fail_hooks:
+                    hook(link)
+                link.fail()
+        else:
+            for link in links:
+                link.recover()
+        self.applied.append((self.sim.now, event))
+        if self.reroute_latency > 0.0:
+            self.sim.schedule_at(
+                self.sim.now + self.reroute_latency, self._reroute
+            )
+        else:
+            self._reroute()
+
+    def _reroute(self) -> None:
+        self.topology.rebuild_routes()
+        if self.control is not None:
+            self.control.invalidate_paths()
+        self.reroutes += 1
+
+    # -- accounting ------------------------------------------------------
+
+    def failure_drops(self) -> int:
+        """Data packets dropped by link failures so far (queued + sent
+        while down + stranded in flight), across the whole topology."""
+        return sum(
+            link.failure_drops + link.inflight_drops
+            for link in self.topology.links.values()
+        )
+
+    def last_event_time(self) -> Optional[float]:
+        """Latest declared event time, or None for an empty schedule."""
+        if not self.events:
+            return None
+        return max(event.time for event in self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NetworkDynamics(events={len(self.events)}, "
+            f"applied={len(self.applied)}, reroutes={self.reroutes})"
+        )

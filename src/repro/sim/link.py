@@ -23,6 +23,18 @@ installed — the common case in large sweeps — the per-packet path never
 iterates an empty listener list.  Installing a tap rebinds the instance
 attribute to the tapped variant.  Taps must therefore be installed before
 traffic flows (monitors and tracers attach at build time).
+
+Dynamics
+--------
+A link that appears in a :class:`~repro.sim.dynamics.NetworkEvent`
+schedule is armed with :meth:`Link.enable_dynamics` at build time, which
+wraps the delivery callback in a *generation check*: every scheduled
+delivery captures the generation current at send time, and
+:meth:`Link.fail` bumps the generation, so packets in flight when the
+link fails are dropped deterministically when their delivery event fires
+— even if the link has already recovered by then.  Static links never
+pay for this: without ``enable_dynamics`` the delivery callback stays
+the bare fast path and the per-packet cost is unchanged.
 """
 
 from __future__ import annotations
@@ -62,6 +74,12 @@ class Link:
         "_drop_listeners",
         "_arrival_taps",
         "_delivery_taps",
+        "up",
+        "failure_drops",
+        "inflight_drops",
+        "_dynamic",
+        "_gen",
+        "_down_saved_send",
     )
 
     def __init__(
@@ -94,6 +112,15 @@ class Link:
         self._drop_listeners: list = []
         self._arrival_taps: list = []
         self._delivery_taps: list = []
+        #: Whether the link is currently operational (dynamics).
+        self.up = True
+        #: Data packets refused by ``send`` while the link was down.
+        self.failure_drops = 0
+        #: Data packets stranded in the propagation pipe by a failure.
+        self.inflight_drops = 0
+        self._dynamic = False
+        self._gen = 0
+        self._down_saved_send: Optional[Callable[[Packet], bool]] = None
         # The queue-skipping bypasses in ``_send_fast`` replicate
         # FifoQueue's push/pop bookkeeping verbatim, so they are only
         # sound when the discipline *is* plain FIFO.  Queues with their
@@ -127,7 +154,106 @@ class Link:
         """Call ``tap(packet, now)`` when a packet reaches the far end
         (observation only — used by tracing and monitors)."""
         self._delivery_taps.append(tap)
-        self._deliver_cb = self._deliver_tapped
+        self._rebind_deliver()
+
+    # -- dynamics (failure / recovery) ------------------------------------
+
+    def enable_dynamics(self) -> None:
+        """Arm the link for scheduled failure/recovery.
+
+        Must run before traffic flows (the dynamics layer calls it at
+        build time): deliveries scheduled earlier captured the unchecked
+        callback and would survive a failure.
+        """
+        if self._dynamic:
+            return
+        self._dynamic = True
+        self._rebind_deliver()
+
+    def _rebind_deliver(self) -> None:
+        """Recompute ``_deliver_cb`` from taps + dynamics state.
+
+        With dynamics enabled the callback is a closure over the current
+        generation: :meth:`fail` bumps ``_gen``, so every delivery
+        scheduled before the failure sees a stale generation and drops.
+        :meth:`recover` rebinds a fresh closure for post-recovery sends.
+        """
+        base = self._deliver_tapped if self._delivery_taps else self._deliver_fast
+        if not self._dynamic:
+            self._deliver_cb = base
+            return
+        gen = self._gen
+
+        def deliver_checked(packet: Packet) -> None:
+            if self._gen != gen:
+                if packet.size > 0.0:
+                    self.inflight_drops += 1
+                return
+            base(packet)
+
+        self._deliver_cb = deliver_checked
+
+    def fail(self) -> int:
+        """Take the link down; returns the number of data packets lost.
+
+        Deterministic loss semantics: the output queue is flushed (each
+        data packet re-booked as a queue drop, so it shows up in
+        ``stats.dropped_data`` and the drop listeners fire), everything
+        already in the propagation pipe is stranded by the generation
+        bump (counted in :attr:`inflight_drops` when its delivery event
+        fires), and subsequent ``send`` calls are refused (counted in
+        :attr:`failure_drops`).  Markers vanish silently — they carry no
+        payload.  Idempotent while already down.  Returns the number of
+        queued data packets flushed.
+        """
+        if not self.up:
+            return 0
+        if not self._dynamic:
+            self.enable_dynamics()
+        now = self.sim.now
+        self.up = False
+        self._gen += 1
+        queue = self.queue
+        stats = queue.stats
+        flushed = 0
+        while True:
+            packet = queue.pop(now)
+            if packet is None:
+                break
+            if packet.size > 0.0:
+                # Re-book the pop as a drop: the packet never transmitted.
+                stats.dequeued_data -= 1
+                stats.dropped_data += 1
+                flushed += 1
+                for listener in self._drop_listeners:
+                    listener(packet, now)
+        # The interrupted serialization (if any) belongs to a stranded
+        # packet; a recovered link starts with a free transmitter.
+        if self._free_at > now:
+            self._free_at = now
+        self._down_saved_send = self.send
+        self.send = self._send_down
+        return flushed
+
+    def recover(self) -> None:
+        """Bring the link back up; a no-op if it is not down."""
+        if self.up:
+            return
+        self.up = True
+        self.send = self._down_saved_send
+        self._down_saved_send = None
+        # Fresh generation closure: post-recovery sends deliver normally
+        # while pre-failure stragglers keep their stale generation.
+        self._rebind_deliver()
+
+    def _send_down(self, packet: Packet) -> bool:
+        """``send`` while failed: refuse everything deterministically."""
+        if packet.size > 0.0:
+            self.failure_drops += 1
+            now = self.sim.now
+            for listener in self._drop_listeners:
+                listener(packet, now)
+        return False
 
     # -- data path ----------------------------------------------------------
 

@@ -1,24 +1,58 @@
 """Nodes and routers.
 
 A :class:`Node` is anything that can receive packets from a link.  A
-:class:`Router` additionally owns a static forwarding table mapping
-*destination edge router names* to output links; the table is filled in by
-:meth:`repro.sim.topology.Topology.build_routes`.
+:class:`Router` additionally owns a forwarding table mapping *destination
+edge router names* to output links; the table is filled in by
+:meth:`repro.sim.topology.Topology.build_routes` and atomically replaced
+by :meth:`repro.sim.topology.Topology.rebuild_routes` when the topology
+changes mid-run.
 
 Core routers in both Corelite and CSFQ subclass :class:`Router`: the paper's
 "simple forwarding behavior" is exactly this class, and the per-scheme
 mechanisms hook in around it (marker observation for Corelite, per-packet
 drop decisions for CSFQ) without any per-flow forwarding state.
+
+Multipath
+---------
+Under the ``ecmp``/``ecmp_flowlet`` routing modes a router additionally
+holds, per destination, the tuple of equal-cost next-hop links.  Packet
+spraying hashes ``(flow_id, flowlet_index, router salt)`` with a fixed
+integer mixer (never Python's randomized string ``hash``) onto the
+candidate list, so replays are byte-identical and all packets of one
+flowlet stay on one path.  Plain ECMP is the degenerate case where the
+flowlet index never advances; flowlet mode advances it every
+``flowlet_packets`` *data* packets (markers ride whatever flowlet the
+data stream is on, so the machinery that observes them sits on the path
+the data actually takes).  The flowlet counters survive route rebuilds:
+a reroute changes the candidate sets, not the spraying state.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import zlib
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import RoutingError
 from repro.sim.packet import Packet
 
 __all__ = ["Node", "Router"]
+
+
+def _ecmp_index(flow_id: int, flowlet: int, salt: int, n: int) -> int:
+    """Deterministic spray: mix the ids and reduce onto ``n`` candidates.
+
+    A murmur3-style finalizer so that small sequential flow ids (the
+    repo numbers flows 1, 2, 3, ...) still land evenly across next
+    hops; Python's built-in ``hash`` is never used (it is randomized
+    per process, which would break cross-run replay).
+    """
+    x = (flow_id * 0x9E3779B1 + flowlet * 0x85EBCA77 + salt) & 0xFFFFFFFF
+    x ^= x >> 16
+    x = (x * 0x85EBCA6B) & 0xFFFFFFFF
+    x ^= x >> 13
+    x = (x * 0xC2B2AE35) & 0xFFFFFFFF
+    x ^= x >> 16
+    return x % n
 
 
 class Node:
@@ -36,19 +70,98 @@ class Node:
 
 
 class Router(Node):
-    """A node with a static next-hop forwarding table."""
+    """A node with a next-hop forwarding table (single- or multi-path)."""
 
     def __init__(self, name: str) -> None:
         super().__init__(name)
         self._routes: Dict[str, "Link"] = {}
+        #: destination -> equal-cost next-hop links (only len >= 2 entries).
+        self._ecmp_routes: Dict[str, Tuple["Link", ...]] = {}
+        #: flow_id -> [data packets in current flowlet, flowlet index].
+        self._flowlets: Dict[int, List[int]] = {}
+        self._flowlet_packets = 0
+        self._ecmp_salt = 0
+        #: True only when some destination actually has >= 2 candidates;
+        #: the single-path per-packet lookup stays a bare dict get.
+        self.multipath = False
+        #: Drop (and count) packets with no route instead of raising —
+        #: enabled by the dynamics layer, where a failure can legally
+        #: partition the network.
+        self.drop_unrouted = False
+        self.unrouted_drops = 0
 
     def set_route(self, dst_name: str, link: "Link") -> None:
         """Install ``link`` as the next hop toward destination ``dst_name``."""
         self._routes[dst_name] = link
 
     def route_for(self, dst_name: str) -> Optional["Link"]:
-        """Next-hop link toward ``dst_name``, or None if unknown."""
+        """Primary next-hop link toward ``dst_name``, or None if unknown."""
         return self._routes.get(dst_name)
+
+    # -- table installation (atomic swaps) --------------------------------
+
+    def install_routes(self, routes: Mapping[str, "Link"]) -> None:
+        """Atomically replace the whole forwarding table (single-path)."""
+        self._routes = dict(routes)
+        self._ecmp_routes = {}
+        self.multipath = False
+
+    def install_multipath_routes(
+        self,
+        routes: Mapping[str, "Link"],
+        ecmp_routes: Mapping[str, Tuple["Link", ...]],
+        flowlet_packets: int = 0,
+    ) -> None:
+        """Atomically replace the table with ECMP candidate sets.
+
+        ``routes`` is the primary (deterministic tie-break) next hop per
+        destination; ``ecmp_routes`` the per-destination equal-cost
+        candidates.  ``flowlet_packets == 0`` means plain per-flow ECMP.
+        """
+        self._routes = dict(routes)
+        self._ecmp_routes = {
+            dst: tuple(links)
+            for dst, links in ecmp_routes.items()
+            if len(links) >= 2
+        }
+        self._flowlet_packets = flowlet_packets
+        if not self._ecmp_salt:
+            # Per-router salt so parallel routers spray independently;
+            # crc32 of the name is stable across processes and replays.
+            self._ecmp_salt = zlib.crc32(self.name.encode("utf-8")) or 1
+        self.multipath = bool(self._ecmp_routes)
+
+    # -- per-packet selection ---------------------------------------------
+
+    def route_for_packet(self, packet: Packet) -> Optional["Link"]:
+        """Next-hop link for ``packet``, honoring multipath spraying.
+
+        Falls back to the primary table for destinations without
+        equal-cost alternatives.  Only *data* packets advance the flowlet
+        counter; zero-size control packets follow the current flowlet.
+        """
+        if self.multipath:
+            candidates = self._ecmp_routes.get(packet.dst)
+            if candidates is not None:
+                state = self._flowlets.get(packet.flow_id)
+                if state is None:
+                    state = [0, 0]
+                    self._flowlets[packet.flow_id] = state
+                flowlet = state[1]
+                n = self._flowlet_packets
+                if n > 0 and packet.size > 0.0:
+                    # Select on the current flowlet, then advance: the
+                    # k-th data packet of a flow belongs to flowlet k // n.
+                    state[0] += 1
+                    if state[0] >= n:
+                        state[0] = 0
+                        state[1] += 1
+                return candidates[
+                    _ecmp_index(
+                        packet.flow_id, flowlet, self._ecmp_salt, len(candidates)
+                    )
+                ]
+        return self._routes.get(packet.dst)
 
     def forward(self, packet: Packet) -> bool:
         """Send ``packet`` toward its destination; False if it was dropped."""
@@ -56,8 +169,15 @@ class Router(Node):
             raise RoutingError(
                 f"{self.name}: asked to forward a packet addressed to itself"
             )
-        link = self._routes.get(packet.dst)
+        if self.multipath:
+            link = self.route_for_packet(packet)
+        else:
+            link = self._routes.get(packet.dst)
         if link is None:
+            if self.drop_unrouted:
+                if packet.size > 0.0:
+                    self.unrouted_drops += 1
+                return False
             raise RoutingError(f"{self.name}: no route toward {packet.dst!r}")
         return link.send(packet)
 

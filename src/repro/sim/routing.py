@@ -1,10 +1,19 @@
-"""Static shortest-path routing.
+"""Shortest-path routing over the live adjacency.
 
-Routes are computed once at topology build time with Dijkstra's algorithm
-over propagation delays (with a small per-hop bias so that equal-delay
-paths prefer fewer hops, and tie-breaking is deterministic by neighbor
-name).  The simulated network never reroutes: the paper's evaluation uses
-fixed paths.
+Routes are computed with Dijkstra's algorithm over propagation delays
+(with a small per-hop bias so that equal-delay paths prefer fewer hops,
+and tie-breaking is deterministic by neighbor name).  The paper's
+evaluation uses fixed paths, and a static scenario still computes its
+tables exactly once at build time — but the network *does* reroute now:
+:class:`~repro.sim.dynamics.NetworkDynamics` re-runs Dijkstra over
+whatever adjacency survives a link failure (down links are simply absent
+from the adjacency) and atomically swaps the resulting tables, keeping
+the same deterministic tie-breaking so replays stay byte-stable.
+
+:func:`equal_cost_next_hops` supports the ECMP/flowlet multipath mode:
+given the per-node distance maps it returns every first hop that lies on
+*some* shortest path, sorted by (neighbor, link name) so the candidate
+order is deterministic.
 """
 
 from __future__ import annotations
@@ -14,7 +23,12 @@ from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.errors import RoutingError
 
-__all__ = ["shortest_paths", "reconstruct_path", "path_cost"]
+__all__ = [
+    "shortest_paths",
+    "reconstruct_path",
+    "path_cost",
+    "equal_cost_next_hops",
+]
 
 #: adjacency: node name -> sequence of (neighbor name, edge cost, link name)
 Adjacency = Mapping[str, Sequence[Tuple[str, float, str]]]
@@ -22,6 +36,11 @@ Adjacency = Mapping[str, Sequence[Tuple[str, float, str]]]
 #: A tiny per-hop cost added to each edge so that among equal-delay routes
 #: the one with fewer hops wins deterministically.
 HOP_BIAS = 1e-9
+
+#: Absolute slack when testing two path costs for equality (ECMP).  Three
+#: orders of magnitude under HOP_BIAS: float noise passes, a genuine
+#: extra hop (one HOP_BIAS) never does.
+ECMP_TOLERANCE = 1e-12
 
 
 def shortest_paths(
@@ -83,3 +102,41 @@ def path_cost(dist: Mapping[str, float], dest: str, source: str) -> float:
         return dist[dest]
     except KeyError:
         raise RoutingError(f"no path from {source!r} to {dest!r}") from None
+
+
+def equal_cost_next_hops(
+    adjacency: Adjacency,
+    source: str,
+    dest: str,
+    dist_maps: Mapping[str, Mapping[str, float]],
+    tolerance: float = ECMP_TOLERANCE,
+) -> Tuple[Tuple[str, str], ...]:
+    """All ``(neighbor, link_name)`` first hops on a shortest path.
+
+    ``dist_maps[node]`` must be the ``dist`` result of
+    :func:`shortest_paths` rooted at ``node`` (at least for ``source``
+    and every neighbor of it).  An edge ``source -> v`` is a candidate
+    iff ``cost(source, v) + HOP_BIAS + dist_v[dest]`` equals
+    ``dist_source[dest]`` within ``tolerance`` — i.e. the hop lies on
+    *some* shortest path.  Candidates are sorted by (neighbor, link
+    name), so the order is deterministic and replayable.  Returns an
+    empty tuple when ``dest`` is unreachable from ``source``.
+    """
+    if dest == source:
+        return ()
+    base = dist_maps[source].get(dest)
+    if base is None:
+        return ()
+    candidates: List[Tuple[str, str]] = []
+    for neighbor, cost, link_name in adjacency.get(source, ()):
+        if neighbor == dest:
+            through = cost + HOP_BIAS
+        else:
+            neighbor_dist = dist_maps[neighbor].get(dest)
+            if neighbor_dist is None:
+                continue
+            through = cost + HOP_BIAS + neighbor_dist
+        if abs(through - base) <= tolerance:
+            candidates.append((neighbor, link_name))
+    candidates.sort()
+    return tuple(candidates)

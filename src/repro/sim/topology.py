@@ -1,21 +1,40 @@
 """Topology container and route computation.
 
 A :class:`Topology` owns the nodes and links of one network cloud, builds
-static forwarding tables on every router and answers propagation-delay
-queries for the control plane (feedback packets travel back to the edge at
+forwarding tables on every router and answers propagation-delay queries
+for the control plane (feedback packets travel back to the edge at
 reverse-path propagation speed; see DESIGN.md §3).
+
+Dynamic routing contract: the adjacency only ever contains links that
+are currently up, :meth:`Topology.build_routes` performs the strict
+initial build (every declared destination must be reachable from every
+router), and :meth:`Topology.rebuild_routes` recomputes all tables
+against the live adjacency with an *atomic swap* — each router's table
+is replaced wholesale via :meth:`~repro.sim.node.Router.install_routes`,
+never mutated entry by entry, so no packet forwards over a half-updated
+table.  Rebuilds are lenient: destinations a failure made unreachable
+are simply absent from the new tables (the routers' ``drop_unrouted``
+mode turns the resulting table misses into counted drops).
+
+``routing_mode`` selects single-path forwarding (``"static"``, the
+paper's regime) or equal-cost multipath (``"ecmp"`` /
+``"ecmp_flowlet"``), in which case each rebuild also installs the
+per-destination candidate sets from
+:func:`repro.sim.routing.equal_cost_next_hops`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import TopologyError
 from repro.sim.engine import Simulator
 from repro.sim.link import Link
 from repro.sim.node import Node, Router
 from repro.sim.queues import DropTailQueue, FifoQueue
-from repro.sim.routing import reconstruct_path, shortest_paths
+from repro.sim.routing import equal_cost_next_hops, reconstruct_path, shortest_paths
+
+ROUTING_MODES = ("static", "ecmp", "ecmp_flowlet")
 
 __all__ = ["Topology"]
 
@@ -37,6 +56,11 @@ class Topology:
         self._routes_built = False
         # Cached per-source Dijkstra results, keyed by source node name.
         self._dijkstra: Dict[str, Tuple[Dict[str, float], Dict[str, Tuple[str, str]]]] = {}
+        #: Destination names the tables cover (remembered for rebuilds).
+        self._destinations: List[str] = []
+        self.routing_mode = "static"
+        #: Data packets per flowlet in ``ecmp_flowlet`` mode (0 = per-flow).
+        self.flowlet_packets = 0
 
     # -- construction ---------------------------------------------------
 
@@ -108,38 +132,107 @@ class Topology:
 
     # -- routing ----------------------------------------------------------
 
+    def set_routing(self, mode: str, flowlet_packets: int = 0) -> None:
+        """Select the routing mode before :meth:`build_routes` runs."""
+        if mode not in ROUTING_MODES:
+            raise TopologyError(
+                f"unknown routing mode {mode!r} (known: {list(ROUTING_MODES)})"
+            )
+        if flowlet_packets < 0:
+            raise TopologyError(
+                f"flowlet_packets must be >= 0, got {flowlet_packets!r}"
+            )
+        self.routing_mode = mode
+        self.flowlet_packets = flowlet_packets
+
     def _adjacency(self) -> Dict[str, List[Tuple[str, float, str]]]:
         adjacency: Dict[str, List[Tuple[str, float, str]]] = {
             name: [] for name in self.nodes
         }
         for link in self.links.values():
+            if not link.up:
+                continue  # failed links are invisible to routing
             adjacency[link.src_name].append((link.dst.name, link.prop_delay, link.name))
         for neighbors in adjacency.values():
             neighbors.sort()  # deterministic tie-breaking
         return adjacency
 
     def build_routes(self, destinations: Iterable[str] = ()) -> None:
-        """Fill every router's forwarding table.
+        """Fill every router's forwarding table (strict initial build).
 
         ``destinations`` restricts the table to the given node names (edge
-        routers); by default every node is a potential destination.
+        routers); by default every node is a potential destination.  Every
+        destination must be reachable from every router — a disconnected
+        initial topology is a configuration error, not a runtime drop.
         """
-        adjacency = self._adjacency()
         dest_names = list(destinations) or list(self.nodes)
         for dst_name in dest_names:
             if dst_name not in self.nodes:
                 raise TopologyError(f"unknown destination {dst_name!r}")
+        self._destinations = dest_names
+        self._install_routes(self._adjacency(), dest_names, strict=True)
+        self._routes_built = True
+
+    def rebuild_routes(self) -> None:
+        """Recompute every table against the live adjacency (atomic swap).
+
+        Called by the dynamics layer after a link fails or recovers.
+        Lenient: destinations that became unreachable are dropped from
+        the new tables instead of raising.  Each router's table is
+        replaced in one assignment, and the same deterministic
+        tie-breaking as the initial build keeps replays byte-stable.
+        """
+        if not self._routes_built:
+            raise TopologyError("rebuild_routes() before build_routes()")
+        self._install_routes(self._adjacency(), self._destinations, strict=False)
+
+    def _install_routes(
+        self,
+        adjacency: Dict[str, List[Tuple[str, float, str]]],
+        dest_names: List[str],
+        strict: bool,
+    ) -> None:
+        self._dijkstra.clear()
+        tables: Dict[str, Dict[str, Link]] = {}
         for src_name, node in self.nodes.items():
             if not isinstance(node, Router):
                 continue
             dist, prev = shortest_paths(adjacency, src_name)
             self._dijkstra[src_name] = (dist, prev)
+            routes: Dict[str, Link] = {}
             for dst_name in dest_names:
                 if dst_name == src_name:
                     continue
+                if dst_name not in prev:
+                    if strict:
+                        reconstruct_path(prev, src_name, dst_name)  # raises
+                    continue
                 path = reconstruct_path(prev, src_name, dst_name)
-                node.set_route(dst_name, self.links[path[0]])
-        self._routes_built = True
+                routes[dst_name] = self.links[path[0]]
+            tables[src_name] = routes
+        if self.routing_mode == "static":
+            for src_name, routes in tables.items():
+                self.nodes[src_name].install_routes(routes)
+            return
+        # ECMP needs the distance map rooted at every node (candidates
+        # test "is this neighbor on *some* shortest path", and neighbors
+        # include non-router nodes like TCP hosts).
+        dist_maps: Dict[str, Dict[str, float]] = {}
+        for name in self.nodes:
+            cached = self._dijkstra.get(name)
+            dist_maps[name] = (
+                cached[0] if cached is not None else shortest_paths(adjacency, name)[0]
+            )
+        flowlet = self.flowlet_packets if self.routing_mode == "ecmp_flowlet" else 0
+        for src_name, routes in tables.items():
+            ecmp: Dict[str, Tuple[Link, ...]] = {}
+            for dst_name in routes:
+                hops = equal_cost_next_hops(adjacency, src_name, dst_name, dist_maps)
+                if len(hops) >= 2:
+                    ecmp[dst_name] = tuple(
+                        self.links[link_name] for _neighbor, link_name in hops
+                    )
+            self.nodes[src_name].install_multipath_routes(routes, ecmp, flowlet)
 
     def _dijkstra_from(self, src: str) -> Tuple[Dict[str, float], Dict[str, Tuple[str, str]]]:
         if src not in self.nodes:
@@ -168,8 +261,20 @@ class Topology:
     # -- stats ---------------------------------------------------------
 
     def total_drops(self) -> int:
-        """Data packets dropped anywhere in the network so far."""
-        return sum(link.queue.stats.dropped_data for link in self.links.values())
+        """Data packets dropped anywhere in the network so far.
+
+        Queue drops plus (in dynamics scenarios) packets refused by or
+        stranded on failed links and packets that hit a routing black
+        hole after a partition.  Static runs only ever see queue drops.
+        """
+        total = 0
+        for link in self.links.values():
+            total += link.queue.stats.dropped_data
+            total += link.failure_drops + link.inflight_drops
+        for node in self.nodes.values():
+            if isinstance(node, Router):
+                total += node.unrouted_drops
+        return total
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Topology(nodes={len(self.nodes)}, links={len(self.links)})"

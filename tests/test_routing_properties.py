@@ -1,0 +1,246 @@
+"""Property tests for shortest paths and ECMP candidate enumeration.
+
+Seeded-random connected graphs, many per property: the properties must
+hold on *every* generated instance, and the fixed seeds make a failure
+reproducible by its iteration number.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.experiments.builder import CloudBuilder
+from repro.experiments.topospec import FlowPathSpec, LinkSpec, TopologySpec
+from repro.sim.dynamics import NetworkEvent
+from repro.sim.engine import Simulator
+from repro.sim.node import Router
+from repro.sim.routing import (
+    HOP_BIAS,
+    equal_cost_next_hops,
+    reconstruct_path,
+    shortest_paths,
+)
+from repro.sim.topology import Topology
+
+
+def random_connected_adjacency(rng, n_nodes, extra_edges, *, quantize=False):
+    """A random connected undirected graph as a directed adjacency map.
+
+    Starts from a random spanning tree (guaranteeing connectivity) and
+    adds ``extra_edges`` random chords.  ``quantize=True`` draws costs
+    from a small grid so equal-cost paths are common.
+    """
+    names = [f"N{i}" for i in range(n_nodes)]
+    adjacency = {name: [] for name in names}
+    edges = set()
+
+    def cost():
+        return rng.choice([1.0, 2.0, 4.0]) if quantize else rng.uniform(0.5, 5.0)
+
+    def connect(a, b, c):
+        edges.add(frozenset((a, b)))
+        adjacency[a].append((b, c, f"{a}->{b}"))
+        adjacency[b].append((a, c, f"{b}->{a}"))
+
+    for i in range(1, n_nodes):
+        j = rng.randrange(i)
+        connect(names[i], names[j], cost())
+    for _ in range(extra_edges):
+        a, b = rng.sample(names, 2)
+        if frozenset((a, b)) not in edges:
+            connect(a, b, cost())
+    return names, adjacency
+
+
+def test_reconstructed_paths_have_optimal_cost():
+    """Every Dijkstra path's summed link cost equals dist (minus the
+    per-hop tie-break bias)."""
+    for seed in range(30):
+        rng = random.Random(seed)
+        names, adjacency = random_connected_adjacency(rng, 8, 5)
+        costs = {
+            link: cost
+            for entries in adjacency.values()
+            for _, cost, link in entries
+        }
+        source = rng.choice(names)
+        dist, prev = shortest_paths(adjacency, source)
+        for dest in names:
+            links = reconstruct_path(prev, source, dest)
+            raw = sum(costs[link] for link in links)
+            biased = raw + HOP_BIAS * len(links)
+            assert abs(biased - dist[dest]) < 1e-9, (seed, source, dest)
+
+
+def test_equal_cost_candidates_are_true_shortest_first_hops():
+    """Every ECMP candidate's through-cost matches the optimum, and every
+    neighbor achieving the optimum is a candidate (no false negatives)."""
+    for seed in range(30):
+        rng = random.Random(1000 + seed)
+        names, adjacency = random_connected_adjacency(rng, 7, 6, quantize=True)
+        dist_maps = {name: shortest_paths(adjacency, name)[0] for name in names}
+        for source in names:
+            for dest in names:
+                if source == dest:
+                    assert equal_cost_next_hops(adjacency, source, dest, dist_maps) == ()
+                    continue
+                candidates = equal_cost_next_hops(adjacency, source, dest, dist_maps)
+                best = dist_maps[source][dest]
+                achieving = {
+                    (neighbor, link)
+                    for neighbor, cost, link in adjacency[source]
+                    if abs(cost + HOP_BIAS + dist_maps[neighbor][dest] - best) <= 1e-9
+                }
+                assert set(candidates) == achieving, (seed, source, dest)
+                assert len(candidates) >= 1
+
+
+def test_equal_cost_candidates_are_sorted_and_deterministic():
+    for seed in range(20):
+        rng = random.Random(2000 + seed)
+        names, adjacency = random_connected_adjacency(rng, 7, 6, quantize=True)
+        dist_maps = {name: shortest_paths(adjacency, name)[0] for name in names}
+        for source in names:
+            for dest in names:
+                first = equal_cost_next_hops(adjacency, source, dest, dist_maps)
+                assert list(first) == sorted(first)
+                # Shuffled adjacency entry order must not change the answer.
+                shuffled = {
+                    node: rng.sample(entries, len(entries))
+                    for node, entries in adjacency.items()
+                }
+                dist_shuffled = {
+                    name: shortest_paths(shuffled, name)[0] for name in names
+                }
+                assert (
+                    equal_cost_next_hops(shuffled, source, dest, dist_shuffled)
+                    == first
+                )
+
+
+def test_dijkstra_route_is_insertion_order_independent():
+    """Deterministic tie-breaking: the chosen single-path route depends
+    only on the graph, not on adjacency insertion order."""
+    for seed in range(20):
+        rng = random.Random(3000 + seed)
+        names, adjacency = random_connected_adjacency(rng, 8, 6, quantize=True)
+        source = rng.choice(names)
+        _, prev = shortest_paths(adjacency, source)
+        routes = {dest: reconstruct_path(prev, source, dest) for dest in names}
+        shuffled = {
+            node: rng.sample(entries, len(entries))
+            for node, entries in adjacency.items()
+        }
+        _, prev2 = shortest_paths(shuffled, source)
+        for dest in names:
+            assert reconstruct_path(prev2, source, dest) == routes[dest], (
+                seed,
+                source,
+                dest,
+            )
+
+
+def test_removed_links_are_never_routed_through():
+    """Fail a random non-cut duplex link: no rebuilt route (single-path
+    or ECMP candidate) may traverse either of its halves."""
+    for seed in range(15):
+        rng = random.Random(4000 + seed)
+        n = 6
+        names = [f"N{i}" for i in range(n)]
+        sim = Simulator()
+        topo = Topology(sim)
+        for name in names:
+            topo.add_node(Router(name))
+        edges = set()
+        for i in range(1, n):
+            j = rng.randrange(i)
+            edges.add((names[j], names[i]))
+        while len(edges) < n + 2:
+            a, b = rng.sample(names, 2)
+            if (a, b) not in edges and (b, a) not in edges:
+                edges.add((a, b))
+        for a, b in sorted(edges):
+            topo.add_duplex_link(a, b, 500.0, rng.choice([0.01, 0.02, 0.04]))
+        topo.set_routing("ecmp")
+        topo.build_routes()
+
+        # Pick a duplex link whose removal keeps the graph connected.
+        candidates = []
+        for a, b in sorted(edges):
+            remaining = {frozenset(e) for e in edges} - {frozenset((a, b))}
+            seen = {names[0]}
+            frontier = [names[0]]
+            while frontier:
+                node = frontier.pop()
+                for other in names:
+                    if other not in seen and frozenset((node, other)) in remaining:
+                        seen.add(other)
+                        frontier.append(other)
+            if len(seen) == n:
+                candidates.append((a, b))
+        if not candidates:
+            continue
+        a, b = candidates[rng.randrange(len(candidates))]
+        dead = {f"{a}->{b}", f"{b}->{a}"}
+        for name in dead:
+            topo.links[name].fail()
+        topo.rebuild_routes()
+
+        for router_name in names:
+            router = topo.nodes[router_name]
+            for link in router._routes.values():
+                assert link.name not in dead, (seed, router_name, link.name)
+            for links in router._ecmp_routes.values():
+                for link in links:
+                    assert link.name not in dead, (seed, router_name, link.name)
+
+
+def test_cloud_ecmp_routes_respect_spec_events():
+    """Topology-level: after a scheduled failure on a leaf-spine fabric,
+    every flow still delivers and no route uses the dead uplink."""
+    spec = TopologySpec.leaf_spine(
+        leaves=2,
+        spines=2,
+        events=(NetworkEvent(time=5.0, kind="link_down", a="L1", b="S1"),),
+    )
+    builder = CloudBuilder(spec, scheme="corelite", seed=9)
+    builder.add_flow(FlowPathSpec(flow_id=1, weight=1.0, ingress_core="L1", egress_core="L2"))
+    builder.add_flow(FlowPathSpec(flow_id=2, weight=1.0, ingress_core="L1", egress_core="L2"))
+    cloud = builder.build()
+    result = cloud.run(until=20.0)
+    dead = {"L1->S1", "S1->L1"}
+    for router_name in ("L1", "L2", "S1", "S2"):
+        router = cloud.topology.nodes[router_name]
+        for link in router._routes.values():
+            assert link.name not in dead
+        for links in router._ecmp_routes.values():
+            assert all(link.name not in dead for link in links)
+    for fid in (1, 2):
+        tail = result.record(fid).throughput_series.window(12.0, 20.0)
+        assert min(tail.values) > 0.0
+
+
+def test_custom_spec_with_parallel_cost_paths_balances():
+    """A diamond with two equal-cost branches: both branches appear as
+    ECMP candidates and carry traffic."""
+    spec = TopologySpec(
+        name="diamond",
+        links=(
+            LinkSpec("I", "U", 500.0, 0.010),
+            LinkSpec("I", "V", 500.0, 0.010),
+            LinkSpec("U", "O", 500.0, 0.010),
+            LinkSpec("V", "O", 500.0, 0.010),
+        ),
+        cores=("I", "U", "V", "O"),
+        routing_mode="ecmp",
+    )
+    builder = CloudBuilder(spec, scheme="corelite", seed=2)
+    for fid in range(1, 17):
+        builder.add_flow(
+            FlowPathSpec(flow_id=fid, weight=1.0, ingress_core="I", egress_core="O")
+        )
+    cloud = builder.build()
+    cloud.run(until=10.0)
+    up = cloud.topology.links["I->U"].queue.stats.enqueued_data
+    down = cloud.topology.links["I->V"].queue.stats.enqueued_data
+    assert up > 0 and down > 0
