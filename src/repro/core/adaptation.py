@@ -52,6 +52,8 @@ class RateController:
         "rate",
         "phase",
         "_last_double",
+        "_alpha_scale",
+        "_rate_scale",
         "increases",
         "decreases",
         "feedback_total",
@@ -64,18 +66,35 @@ class RateController:
         weight: float,
         start_time: float = 0.0,
         min_rate: float | None = None,
+        alpha_scale: float = 1.0,
+        rate_scale: float = 1.0,
     ) -> None:
         """``min_rate`` overrides the config floor per flow — this is how a
         *minimum rate contract* is enforced: the edge never throttles the
-        flow below its contracted rate (paper §4/§6)."""
+        flow below its contracted rate (paper §4/§6).
+
+        ``alpha_scale``/``rate_scale`` adapt the controller to an
+        *aggregate bucket* of N identical flows: the bucket must probe N
+        times faster (alpha_scale=N — each member still sees +alpha per
+        epoch) and start/cap at N times the per-flow rate (rate_scale=N
+        scales ``initial_rate`` and the ``max_rate`` ceiling).  ``beta``
+        is NOT scaled: feedback arrives in proportion to the bucket's
+        total normalized rate, so the multiplicative decrease already
+        scales with N through the feedback count itself.  The defaults
+        (1.0) are exact float identities, keeping single flows
+        byte-identical."""
         if weight <= 0:
             raise ConfigurationError(f"weight must be positive, got {weight}")
+        if alpha_scale <= 0 or rate_scale <= 0:
+            raise ConfigurationError("aggregate gain scales must be positive")
         self.config = config
         self.weight = weight
         self.min_rate = config.min_rate if min_rate is None else min_rate
         if self.min_rate < 0:
             raise ConfigurationError(f"min_rate must be >= 0, got {self.min_rate}")
-        self.rate = max(config.initial_rate, self.min_rate)
+        self._alpha_scale = alpha_scale
+        self._rate_scale = rate_scale
+        self.rate = max(config.initial_rate * rate_scale, self.min_rate)
         self.phase = Phase.SLOW_START
         self._last_double = start_time
         self.increases = 0
@@ -85,7 +104,7 @@ class RateController:
 
     def restart(self, now: float) -> None:
         """Reset to a fresh slow-start (a flow re-entering the network)."""
-        self.rate = max(self.config.initial_rate, self.min_rate)
+        self.rate = max(self.config.initial_rate * self._rate_scale, self.min_rate)
         self.phase = Phase.SLOW_START
         self._last_double = now
 
@@ -126,7 +145,7 @@ class RateController:
     def _linear_epoch(self, feedback_count: int) -> None:
         cfg = self.config
         if feedback_count == 0:
-            self.rate = self._clamp(self.rate + cfg.alpha)
+            self.rate = self._clamp(self.rate + cfg.alpha * self._alpha_scale)
             self.increases += 1
         else:
             self.rate = self._clamp(self.rate - cfg.beta * feedback_count)
@@ -137,7 +156,8 @@ class RateController:
         self.slow_start_exits += 1
 
     def _clamp(self, rate: float) -> float:
-        return min(self.config.max_rate, max(self.min_rate, max(0.0, rate)))
+        ceiling = self.config.max_rate * self._rate_scale
+        return min(ceiling, max(self.min_rate, max(0.0, rate)))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

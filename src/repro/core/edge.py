@@ -68,6 +68,12 @@ class FlowAttachment:
     backlogged: bool = True
     external: bool = False
     shaper_buffer: int = 40
+    #: Number of same-(path, weight) member flows this attachment stands
+    #: for.  ``weight``/``min_rate`` are the *bucket totals* (member x N);
+    #: the marker interval is computed from the member weight so the
+    #: feedback density matches N individual flows, and the controller
+    #: gains are scaled accordingly (see RateController).
+    aggregate: int = 1
 
     def __post_init__(self) -> None:
         if self.weight <= 0:
@@ -80,6 +86,12 @@ class FlowAttachment:
             )
         if self.shaper_buffer < 1:
             raise FlowError(f"flow {self.flow_id}: shaper_buffer must be >= 1")
+        if self.aggregate < 1:
+            raise FlowError(f"flow {self.flow_id}: aggregate must be >= 1")
+        if self.aggregate > 1 and self.external:
+            raise FlowError(
+                f"flow {self.flow_id}: external flows cannot be aggregated"
+            )
 
 
 class _IngressFlow:
@@ -139,6 +151,42 @@ class _IngressFlow:
         self.shaper_drops = 0
 
 
+class _VecIngressFlow(_IngressFlow):
+    """Thin view over the edge's :class:`FlowArrayBank` for one slot.
+
+    Same surface as ``_IngressFlow`` (the per-packet and control-plane
+    paths are shared verbatim), but the hot scalars — ``feedback_peak``
+    and the shaper ``backlog`` — are properties redirecting into the
+    bank's columns so the epoch sweep can read them as arrays.  The
+    backlog column uses -1 as the "always backlogged" sentinel, rendered
+    as ``None`` to keep the object contract.
+    """
+
+    __slots__ = ("bank", "slot")
+
+    def __init__(self, bank, slot: int, *args) -> None:
+        self.bank = bank
+        self.slot = slot
+        super().__init__(*args)
+
+    @property
+    def feedback_peak(self) -> int:
+        return int(self.bank.feedback_peak[self.slot])
+
+    @feedback_peak.setter
+    def feedback_peak(self, value: int) -> None:
+        self.bank.feedback_peak[self.slot] = value
+
+    @property
+    def backlog(self) -> Optional[int]:
+        value = self.bank.backlog[self.slot]
+        return None if value < 0 else int(value)
+
+    @backlog.setter
+    def backlog(self, value: Optional[int]) -> None:
+        self.bank.backlog[self.slot] = -1 if value is None else value
+
+
 class _EgressFlow:
     """Per-flow egress state: delivery metering and gap-based loss count."""
 
@@ -171,14 +219,39 @@ class CoreliteEdge(Router):
         sim: Simulator,
         config: CoreliteConfig,
         epoch_offset: Optional[float] = None,
+        vectorized: bool = False,
     ) -> None:
         """``epoch_offset`` staggers this edge's first adaptation tick so
         that edges created together do not adapt in lockstep (see
-        :meth:`repro.sim.engine.Simulator.every`)."""
+        :meth:`repro.sim.engine.Simulator.every`).
+
+        ``vectorized`` moves the per-flow scalars into a slot-indexed
+        :class:`~repro.sim.flowarrays.FlowArrayBank` and runs the epoch
+        as one masked array sweep; the default keeps the scalar
+        object-per-flow path (byte-identical replays)."""
         super().__init__(name)
         self.sim = sim
         self.config = config
         self._epoch_offset = epoch_offset
+        # Marker piggybacking (see CoreliteConfig.batched_control): a due
+        # marker rides its companion data packet as (origin_edge, label)
+        # instead of a separate zero-size packet — same arrival instant,
+        # one event per hop instead of two.
+        self._merge_markers = (
+            config.batched_control
+            if config.batched_control is not None
+            else vectorized
+        )
+        self._bank = None
+        self._np = None
+        self._active_slots = None
+        if vectorized:
+            import numpy  # deferred: scalar mode must not require numpy
+
+            from repro.sim.flowarrays import FlowArrayBank
+
+            self._np = numpy
+            self._bank = FlowArrayBank()
         # Slot-indexed flow tables: the id -> slot maps are touched once
         # per control-plane packet, while the per-epoch adaptation sweep
         # and the per-packet egress path index dense lists.  Slots are
@@ -204,20 +277,54 @@ class CoreliteEdge(Router):
         """Declare a flow whose ingress is this edge (it starts stopped)."""
         if attachment.flow_id in self._ingress_index:
             raise FlowError(f"flow {attachment.flow_id} already attached at {self.name}")
-        controller = RateController(
-            self.config,
-            attachment.weight,
-            start_time=self.sim.now,
-            min_rate=attachment.min_rate,
-        )
-        injector = MarkerInjector(self.config.marker_interval(attachment.weight))
-        state = _IngressFlow(attachment, controller, pacer=None, injector=injector)  # type: ignore[arg-type]
-        state.pacer = PacedSender(
-            self.sim,
-            controller.rate,
-            lambda s=state: self._emit(s),
-            burst=self.config.shaper_burst,
-        )
+        # The marker interval uses the *member* weight: an N-flow bucket
+        # must emit markers as densely as N individual flows would, or
+        # the core's feedback (and thus the LIMD decrease) goes sparse
+        # and fairness coarsens.  For aggregate=1 this is weight exactly.
+        member_weight = attachment.weight / attachment.aggregate
+        injector = MarkerInjector(self.config.marker_interval(member_weight))
+        scale = float(attachment.aggregate)
+        if self._bank is not None:
+            from repro.sim.flowarrays import ArrayPacedSender, ArrayRateController
+
+            slot = self._bank.alloc()
+            controller = ArrayRateController(
+                self.config,
+                attachment.weight,
+                self._bank,
+                slot,
+                start_time=self.sim.now,
+                min_rate=attachment.min_rate,
+                alpha_scale=scale,
+                rate_scale=scale,
+            )
+            state = _VecIngressFlow(
+                self._bank, slot, attachment, controller, None, injector
+            )
+            state.pacer = ArrayPacedSender(
+                self._bank,
+                slot,
+                self.sim,
+                controller.rate,
+                lambda s=state: self._emit(s),
+                burst=self.config.shaper_burst,
+            )
+        else:
+            controller = RateController(
+                self.config,
+                attachment.weight,
+                start_time=self.sim.now,
+                min_rate=attachment.min_rate,
+                alpha_scale=scale,
+                rate_scale=scale,
+            )
+            state = _IngressFlow(attachment, controller, pacer=None, injector=injector)  # type: ignore[arg-type]
+            state.pacer = PacedSender(
+                self.sim,
+                controller.rate,
+                lambda s=state: self._emit(s),
+                burst=self.config.shaper_burst,
+            )
         self._ingress_index[attachment.flow_id] = len(self._ingress_flows)
         self._ingress_flows.append(state)
         if self._epoch_task is None:
@@ -260,7 +367,9 @@ class CoreliteEdge(Router):
             self.stray_feedback += 1
             return
         source = packet.feedback_from or "?"
-        count = state.feedback.get(source, 0) + 1
+        # A batched feedback packet (core epoch coalescing) carries its
+        # logical marker count in ``seq``; per-marker feedback has seq 0.
+        count = state.feedback.get(source, 0) + (packet.seq if packet.seq > 0 else 1)
         state.feedback[source] = count
         if count > state.feedback_peak:
             state.feedback_peak = count
@@ -365,6 +474,34 @@ class CoreliteEdge(Router):
             )
             packet.micro_id = micro_id
             state.seq += 1
+        if self._merge_markers:
+            # Batched control plane: the due marker is piggybacked on the
+            # data packet itself — ``origin_edge`` doubles as the "marker
+            # aboard" flag for the core routers, which observe the label
+            # exactly as they would a trailing zero-size marker (same
+            # arrival instant, since markers serialize in zero time right
+            # behind their companion).  Label semantics are identical to
+            # the standalone-marker branch below.
+            if state.rate_estimator is not None:
+                state.rate_estimator.update(now, packet.size)
+            due = state.injector.on_data(packet.size)
+            if due:
+                rate = state.controller.rate
+                if state.rate_estimator is not None:
+                    rate = min(rate, state.rate_estimator.rate)
+                label = max(0.0, rate - att.min_rate) / att.weight
+                packet.origin_edge = self.name
+                packet.label = label
+                for _ in range(due - 1):
+                    # Sub-unit marker intervals (member weight < 1) can owe
+                    # several markers per packet; extras stay standalone.
+                    self.forward(
+                        Packet.marker(
+                            att.flow_id, self.name, att.dst_edge, label, now, sim=self.sim
+                        )
+                    )
+            self.forward(packet)
+            return True
         self.forward(packet)
         if state.rate_estimator is not None:
             state.rate_estimator.update(now, packet.size)
@@ -388,6 +525,9 @@ class CoreliteEdge(Router):
 
     def _epoch(self) -> None:
         """Edge epoch: run rate adaptation on every active ingress flow."""
+        if self._bank is not None:
+            self._epoch_vectorized()
+            return
         now = self.sim.now
         if self._active_dirty:
             # Attach order, not start order: the sweep must visit flows in
@@ -404,6 +544,101 @@ class CoreliteEdge(Router):
                 state.feedback_peak = 0
             new_rate = state.controller.on_epoch(m, now)
             state.pacer.set_rate(new_rate)
+
+    def _epoch_vectorized(self) -> None:
+        """One masked array sweep over the active slots.
+
+        Mirrors the scalar epoch operation-for-operation (same IEEE-754
+        double ops in the same per-flow order), so in practice the runs
+        agree float-exactly; the contract we *pin* is only statistical
+        equivalence, leaving room for genuinely reordered math later.
+        """
+        np = self._np
+        now = self.sim.now
+        if self._active_dirty:
+            self._active_ingress = [s for s in self._ingress_flows if s.active]
+            self._active_slots = np.fromiter(
+                (s.slot for s in self._active_ingress),
+                dtype=np.intp,
+                count=len(self._active_ingress),
+            )
+            self._active_dirty = False
+        flows = self._active_ingress
+        if not flows:
+            return
+        if len(flows) < 32:
+            # Tiny population: numpy's fixed per-sweep overhead (~tens of
+            # µs) dwarfs the work.  ``ArrayRateController.on_epoch`` is the
+            # same arithmetic on the same columns, one slot at a time, so
+            # this cutover is invisible to results — only to the clock.
+            for state in flows:
+                m = state.feedback_peak
+                if m:
+                    state.feedback.clear()
+                    state.feedback_peak = 0
+                state.pacer.set_rate(state.controller.on_epoch(m, now))
+            return
+        bank = self._bank
+        cfg = self.config
+        idx = self._active_slots
+        m = bank.feedback_peak[idx]
+        rate = bank.rate[idx]
+        minr = bank.min_rate[idx]
+        ceiling = cfg.max_rate * bank.rate_scale[idx]
+
+        def clamp(x):
+            return np.minimum(ceiling, np.maximum(minr, np.maximum(0.0, x)))
+
+        cong = m > 0
+        ss = bank.phase[idx] == 0
+        new_rate = rate.copy()
+        new_phase = bank.phase[idx].copy()
+        last_double = bank.last_double[idx].copy()
+
+        # Slow start, congestion seen: halve and go linear.
+        ss_cong = ss & cong
+        halved = clamp(rate / 2.0)
+        new_rate[ss_cong] = halved[ss_cong]
+        new_phase[ss_cong] = 1
+
+        # Slow start, quiet and due: double; if the normalized rate
+        # overshoots ss_thresh, halve back and go linear.
+        due = ss & ~cong & ((now - last_double) >= cfg.ss_double_interval)
+        doubled = clamp(rate * 2.0)
+        new_rate[due] = doubled[due]
+        last_double[due] = now
+        over = due & (doubled / bank.weight[idx] > cfg.ss_thresh)
+        overshoot = clamp(doubled / 2.0)
+        new_rate[over] = overshoot[over]
+        new_phase[over] = 1
+
+        # Linear LIMD: +alpha (scaled for aggregates) when quiet,
+        # -beta*m toward the bottleneck's feedback count otherwise.
+        lin = ~ss
+        inc = lin & ~cong
+        increased = clamp(rate + cfg.alpha * bank.alpha_scale[idx])
+        new_rate[inc] = increased[inc]
+        dec = lin & cong
+        decreased = clamp(rate - cfg.beta * m)
+        new_rate[dec] = decreased[dec]
+
+        bank.feedback_total[idx] += m
+        bank.increases[idx] += inc
+        bank.decreases[idx] += ss_cong | dec
+        bank.slow_start_exits[idx] += ss_cong | over
+        bank.rate[idx] = new_rate
+        bank.phase[idx] = new_phase
+        bank.last_double[idx] = last_double
+
+        if cong.any():
+            bank.feedback_peak[idx[cong]] = 0
+            for i in np.nonzero(cong)[0].tolist():
+                flows[i].feedback.clear()
+
+        # Re-arm the shapers (event scheduling stays per-flow, in the
+        # same order as the scalar sweep; set_rate no-ops on equality).
+        for state, r in zip(flows, new_rate.tolist()):
+            state.pacer.set_rate(r)
 
     # -- egress role -----------------------------------------------------
 
@@ -456,6 +691,10 @@ class CoreliteEdge(Router):
             return
         if packet.kind is not _DATA:
             return
+        if packet.origin_edge is not None:
+            # A piggybacked marker (batched control plane) rode this data
+            # packet; account it so marker stats match unbatched runs.
+            state.markers_received += 1
         if state.expected_seq is not None and packet.seq > state.expected_seq:
             state.lost += packet.seq - state.expected_seq
         # A restarted flow re-begins at seq 0; treat backward jumps as resets.

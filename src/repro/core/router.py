@@ -41,8 +41,9 @@ FeedbackSender = Callable[[Packet], None]
 
 Selector = Union[MarkerCacheFeedback, SelectiveFeedback]
 
-#: Localized enum member: the marker test runs once per received packet.
+#: Localized enum members: these tests run once per received packet.
 _MARKER = PacketKind.MARKER
+_DATA = PacketKind.DATA
 
 
 class _LinkMachinery:
@@ -98,12 +99,23 @@ class CoreliteCoreRouter(Router):
         config: CoreliteConfig,
         rng: RngRegistry,
         send_feedback: FeedbackSender,
+        batch_feedback: bool = False,
     ) -> None:
+        """``batch_feedback`` coalesces the feedback one output link
+        selects during one congestion epoch into a single counted
+        FEEDBACK packet per (flow, edge), flushed at the epoch boundary
+        (see ``CoreliteConfig.batched_control``; the builder resolves the
+        tri-state).  The edge credits the packet's ``seq`` as its marker
+        count, so the LIMD sees the same per-epoch totals with feedback
+        arrival quantized to the core epoch."""
         super().__init__(name)
         self.sim = sim
         self.config = config
         self._rng = rng
         self._send_feedback = send_feedback
+        self._batch_feedback = batch_feedback
+        #: Per-link pending batched feedback: (flow, edge) -> [count, label].
+        self._fb_buffers: Dict[str, Dict[Tuple[int, str], list]] = {}
         self._machinery: Dict[str, _LinkMachinery] = {}
         self.feedback_emitted = 0
 
@@ -180,7 +192,12 @@ class CoreliteCoreRouter(Router):
             # so forward() cannot advance the flowlet counter twice.)
             self.forward(packet)
             return
-        if packet.kind is _MARKER:
+        if packet.kind is _MARKER or (
+            packet.origin_edge is not None and packet.kind is _DATA
+        ):
+            # Standalone marker, or a data packet carrying a piggybacked
+            # one (batched control plane) — the selector observes both
+            # identically; only the event count differs.
             machinery = self._machinery.get(out_link.name)
             if machinery is not None:
                 if machinery.parked_at is not None:
@@ -209,6 +226,10 @@ class CoreliteCoreRouter(Router):
         else:
             n_markers = estimator.markers_for_epoch(qavg)
         machinery.selector.on_epoch(n_markers, now)
+        if self._batch_feedback:
+            # Ship the feedback coalesced over this epoch before the park
+            # decision below: a parked link must have an empty buffer.
+            self._flush_feedback(machinery.link.name)
         # An uncongested boundary on an empty link arms ``pw = 0`` and
         # clears both the deficit and the epoch marker count, so every
         # boundary until the queue next holds data is replayable: qavg
@@ -335,6 +356,20 @@ class CoreliteCoreRouter(Router):
     # -- feedback -----------------------------------------------------------
 
     def _make_emitter(self, link_name: str) -> Callable[[int, str, float], None]:
+        if self._batch_feedback:
+            buffer = self._fb_buffers.setdefault(link_name, {})
+
+            def emit_batched(flow_id: int, origin_edge: str, label: float) -> None:
+                self.feedback_emitted += 1
+                entry = buffer.get((flow_id, origin_edge))
+                if entry is None:
+                    buffer[(flow_id, origin_edge)] = [1, label]
+                else:
+                    entry[0] += 1
+                    entry[1] = label
+
+            return emit_batched
+
         def emit(flow_id: int, origin_edge: str, label: float) -> None:
             feedback = Packet(
                 PacketKind.FEEDBACK,
@@ -352,3 +387,28 @@ class CoreliteCoreRouter(Router):
             self._send_feedback(feedback)
 
         return emit
+
+    def _flush_feedback(self, link_name: str) -> None:
+        """Epoch boundary: ship one counted FEEDBACK packet per pending
+        (flow, edge) key of ``link_name``'s batch buffer.  ``seq`` carries
+        the logical marker count (per-marker feedback leaves it 0)."""
+        buffer = self._fb_buffers.get(link_name)
+        if not buffer:
+            return
+        now = self.sim.now
+        for (flow_id, origin_edge), (count, label) in buffer.items():
+            feedback = Packet(
+                PacketKind.FEEDBACK,
+                flow_id,
+                src=self.name,
+                dst=origin_edge,
+                size=0.0,
+                seq=count,
+                label=label,
+                created_at=now,
+                sim=self.sim,
+            )
+            feedback.origin_edge = origin_edge
+            feedback.feedback_from = link_name
+            self._send_feedback(feedback)
+        buffer.clear()

@@ -110,7 +110,7 @@ def _sweep_config_field(
     for value in values:
         config = dataclasses.replace(base_config, **{field: value})
         result = run_startup_workload(
-            lambda: CoreliteNetwork.single_bottleneck(seed=seed, config=config),
+            lambda config=config: CoreliteNetwork.single_bottleneck(seed=seed, config=config),
             duration=duration,
         )
         points.append(_measure(result, window, field, value))
@@ -214,7 +214,7 @@ def grid_study(
     for combo in combos:
         config = dataclasses.replace(base_config, **combo)
         result = run_startup_workload(
-            lambda: CoreliteNetwork.single_bottleneck(seed=seed, config=config),
+            lambda config=config: CoreliteNetwork.single_bottleneck(seed=seed, config=config),
             duration=duration,
         )
         points.append(_measure(result, window, "grid", dict(combo)))
@@ -230,7 +230,7 @@ def compare_feedback_schemes(
     for scheme in (FeedbackScheme.MARKER_CACHE, FeedbackScheme.SELECTIVE):
         config = CoreliteConfig(feedback_scheme=scheme)
         result = run_startup_workload(
-            lambda: CoreliteNetwork.single_bottleneck(seed=seed, config=config),
+            lambda config=config: CoreliteNetwork.single_bottleneck(seed=seed, config=config),
             duration=duration,
         )
         points.append(_measure(result, window, "feedback_scheme", scheme.value))
@@ -316,7 +316,7 @@ def compare_congestion_estimators(
     for name in ("mm1", "linear"):
         config = CoreliteConfig(congestion_estimator=name)
         result = run_startup_workload(
-            lambda: CoreliteNetwork.single_bottleneck(seed=seed, config=config),
+            lambda config=config: CoreliteNetwork.single_bottleneck(seed=seed, config=config),
             duration=duration,
         )
         points.append(_measure(result, window, "congestion_estimator", name))

@@ -134,6 +134,15 @@ class SchemeStrategy:
             "(a Corelite edge feature)"
         )
 
+    def attach_bucket(self, cloud: "Cloud", ingress, spec: FlowPathSpec):
+        """Per-member mux for a sourced ``aggregate: N`` bucket.
+
+        ``None`` (the default) means the scheme has no per-member
+        accounting: the aggregate source deposits into the bucket's
+        plain shaper backlog instead.
+        """
+        return None
+
     def attach_tcp_hosts(self, cloud: "Cloud", spec: FlowPathSpec) -> None:
         raise ConfigurationError(
             f"scheme {self.scheme!r} does not support TCP transport "
@@ -169,7 +178,13 @@ class CoreliteStrategy(SchemeStrategy):
                 raise FlowError(f"feedback for unknown edge {packet.dst!r}")
             cloud.control.send(router_name, packet.dst, edge.receive_feedback, packet)
 
-        return CoreliteCoreRouter(name, cloud.sim, cloud.config, cloud.rng, send_feedback)
+        batched = cloud.config.batched_control
+        if batched is None:
+            batched = cloud.vectorized
+        return CoreliteCoreRouter(
+            name, cloud.sim, cloud.config, cloud.rng, send_feedback,
+            batch_feedback=batched,
+        )
 
     def make_edge(self, cloud: "Cloud", name: str):
         from repro.core.edge import CoreliteEdge
@@ -177,19 +192,28 @@ class CoreliteStrategy(SchemeStrategy):
         offset = cloud.rng.stream(f"edge-epoch:{name}").uniform(
             0.0, cloud.config.edge_epoch
         )
-        return CoreliteEdge(name, cloud.sim, cloud.config, epoch_offset=offset)
+        return CoreliteEdge(
+            name,
+            cloud.sim,
+            cloud.config,
+            epoch_offset=offset,
+            vectorized=cloud.vectorized,
+        )
 
     def attach_ingress(self, cloud: "Cloud", edge, spec: FlowPathSpec) -> None:
         from repro.core.edge import FlowAttachment
 
+        # The attachment carries the *network-level* (bucket) weight and
+        # contract; for aggregate=1 these equal the member values exactly.
         edge.attach_flow(
             FlowAttachment(
                 flow_id=spec.flow_id,
-                weight=spec.weight,
+                weight=spec.network_weight,
                 dst_edge=spec.egress_edge,
-                min_rate=spec.min_rate,
+                min_rate=spec.network_min_rate,
                 backlogged=spec.backlogged,
                 external=spec.transport == "tcp",
+                aggregate=spec.aggregate,
             )
         )
 
@@ -236,6 +260,16 @@ class CoreliteStrategy(SchemeStrategy):
         cloud._muxes[spec.flow_id] = mux
         return mux
 
+    def attach_bucket(self, cloud: "Cloud", ingress, spec: FlowPathSpec):
+        """Mux for a sourced ``aggregate: N`` bucket (members 1..N), so
+        per-member delivery accounting survives aggregation."""
+        from repro.core.microflows import MicroFlowMux
+
+        mux = MicroFlowMux(tuple(range(1, spec.aggregate + 1)))
+        ingress.attach_microflows(spec.flow_id, mux)
+        cloud._muxes[spec.flow_id] = mux
+        return mux
+
     def prepare_link_failure(self, cloud: "Cloud", link: Link) -> None:
         core = cloud.topology.nodes.get(link.src_name)
         force_unpark = getattr(core, "force_unpark", None)
@@ -265,7 +299,13 @@ class CsfqStrategy(SchemeStrategy):
         offset = cloud.rng.stream(f"edge-epoch:{name}").uniform(
             0.0, cloud.config.edge_epoch
         )
-        edge = CsfqEdge(name, cloud.sim, cloud.config, epoch_offset=offset)
+        edge = CsfqEdge(
+            name,
+            cloud.sim,
+            cloud.config,
+            epoch_offset=offset,
+            vectorized=cloud.vectorized,
+        )
 
         def loss_channel(packet: Packet, src: str = name) -> None:
             ingress = cloud.edges.get(packet.dst)
@@ -288,9 +328,10 @@ class CsfqStrategy(SchemeStrategy):
         edge.attach_flow(
             CsfqFlowAttachment(
                 flow_id=spec.flow_id,
-                weight=spec.weight,
+                weight=spec.network_weight,
                 dst_edge=spec.egress_edge,
                 backlogged=spec.backlogged,
+                aggregate=spec.aggregate,
             )
         )
 
@@ -350,6 +391,7 @@ class Cloud:
         control_loss_prob: float = 0.0,
         packet_pool: bool = False,
         calendar: bool = True,
+        vectorized: bool = False,
     ) -> None:
         """``queue_factory`` overrides the default drop-tail buffer on
         every link (used by the AQM ablations to swap in RED or DECbit
@@ -361,7 +403,11 @@ class Cloud:
         either way (pinned by replay tests); it only cuts allocator churn
         on long runs.  ``calendar=False`` forces the simulator's timer
         tier onto the pure binary heap — also byte-identical (pinned by
-        the same replay tests) and only useful for those pins."""
+        the same replay tests) and only useful for those pins.
+        ``vectorized=True`` moves per-flow edge state into slot-indexed
+        NumPy arrays and runs each congestion epoch as one masked sweep;
+        results are statistically equivalent (pinned by Jain/per-flow
+        tolerance tests) but not guaranteed byte-identical."""
         if not isinstance(spec, TopologySpec):
             raise ConfigurationError(
                 f"Cloud needs a TopologySpec, got {type(spec).__name__}"
@@ -370,6 +416,7 @@ class Cloud:
         self.strategy = strategy
         strategy.bind(self)
         self.scheme = strategy.scheme
+        self.vectorized = vectorized
         self.config = strategy.make_config()
         self.sim = Simulator(calendar=calendar)
         if packet_pool:
@@ -471,17 +518,21 @@ class Cloud:
         self.topology.add_node(egress)
         self.edges[ingress.name] = ingress
         self.edges[egress.name] = egress
+        # An aggregate bucket's access port carries N members' worth of
+        # traffic, so it gets N times the per-flow access capacity (the
+        # controller ceiling scales to match via rate_scale).
+        access_capacity = self.access_capacity_pps * spec.aggregate
         self.topology.add_duplex_link(
             spec.ingress_edge,
             spec.ingress_core,
-            self.access_capacity_pps,
+            access_capacity,
             self.prop_delay,
             self._queue_factory,
         )
         self.topology.add_duplex_link(
             spec.egress_core,
             spec.egress_edge,
-            self.access_capacity_pps,
+            access_capacity,
             self.prop_delay,
             self._queue_factory,
         )
@@ -537,7 +588,7 @@ class Cloud:
         """Fail at finalize time, naming the flow, if any flow has no
         path from its ingress edge to its egress edge."""
         for fid, spec in self.flows.items():
-            try:
+            try:  # noqa: PERF203 -- cold path; the per-flow error context is the point
                 self.topology.path_links(spec.ingress_edge, spec.egress_edge)
             except RoutingError as exc:
                 raise TopologyError(
@@ -557,11 +608,13 @@ class Cloud:
         self.admission = AdmissionController(self.link_capacities())
         for spec in contracted:
             path = self.flow_path_links(spec.flow_id)
-            if not self.admission.request(spec.flow_id, path, spec.min_rate):
+            if not self.admission.request(
+                spec.flow_id, path, spec.network_min_rate
+            ):
                 raise ConfigurationError(
-                    f"flow {spec.flow_id}: contract of {spec.min_rate} pkt/s "
-                    f"rejected by admission control (insufficient headroom "
-                    f"along {path})"
+                    f"flow {spec.flow_id}: contract of {spec.network_min_rate} "
+                    f"pkt/s rejected by admission control (insufficient "
+                    f"headroom along {path})"
                 )
 
     def _core_output_links(self):
@@ -598,7 +651,7 @@ class Cloud:
         demands = [
             FlowDemand(
                 fid,
-                spec.weight,
+                spec.network_weight,
                 self.flow_path_links(fid),
                 demand=self._flow_demand(spec),
             )
@@ -614,13 +667,15 @@ class Cloud:
         demands = []
         disconnected = []
         for fid, spec in self.flows.items():
-            try:
+            try:  # noqa: PERF203 -- cold path; partitioned flows are expected here
                 path = self.flow_path_links(fid)
             except RoutingError:
                 disconnected.append(fid)
                 continue
             demands.append(
-                FlowDemand(fid, spec.weight, path, demand=self._flow_demand(spec))
+                FlowDemand(
+                    fid, spec.network_weight, path, demand=self._flow_demand(spec)
+                )
             )
         reference = (
             weighted_maxmin(self.link_capacities(), demands) if demands else {}
@@ -674,14 +729,41 @@ class Cloud:
             generators = []
             if spec.micro_flows:
                 mux = self._attach_aggregate(ingress, spec)
-                for mid, source_spec in spec.micro_flows:
-                    generators.append(
-                        (
-                            source_spec.build(),
-                            lambda n, m=mux, mid=mid: m.deposit(mid, n),
-                            self.rng.stream(f"source:{fid}:{mid}"),
-                        )
+                generators.extend(
+                    (
+                        source_spec.build(),
+                        lambda n, m=mux, mid=mid: m.deposit(mid, n),
+                        self.rng.stream(f"source:{fid}:{mid}"),
                     )
+                    for mid, source_spec in spec.micro_flows
+                )
+            elif (
+                spec.aggregate > 1
+                and spec.source is not None
+                and not spec.source.is_backlogged
+            ):
+                # One generator process stands in for the whole bucket:
+                # a Poisson superposition at N x member rate (exactly N
+                # independent member processes, by the thinning theorem).
+                from repro.sim.sources import PacedAggregateSource
+
+                model = PacedAggregateSource(
+                    tuple(range(1, spec.aggregate + 1)),
+                    spec.source.mean_rate,
+                    kind="poisson",
+                )
+                mux = self.strategy.attach_bucket(self, ingress, spec)
+                if mux is not None:
+                    deposit = mux.deposit
+                else:
+                    # No per-member accounting in this scheme: fold the
+                    # member deposits into the bucket's shaper backlog.
+                    def deposit(mid, n, edge=ingress, flow=fid):
+                        edge.deposit(flow, n)
+
+                generators.append(
+                    (model, deposit, self.rng.stream(f"source:{fid}"))
+                )
             elif spec.source is not None and not spec.source.is_backlogged:
                 generators.append(
                     (
@@ -708,7 +790,7 @@ class Cloud:
                         self.sim.schedule_at(stop, tcp_sender.stop)
             records[fid] = FlowRecord(
                 flow_id=fid,
-                weight=spec.weight,
+                weight=spec.network_weight,
                 schedule=spec.schedule,
                 path_links=self.flow_path_links(fid),
                 rate_series=Series(f"rate:{fid}"),
@@ -753,7 +835,7 @@ class Cloud:
             records[fid].delivered = egress.delivered(fid)
             records[fid].losses = egress.losses(fid)
             records[fid].delay = egress.delay_stats(fid).summary()
-            if spec.micro_flows:
+            if fid in self._muxes:
                 records[fid].micro_delivered = egress.delivered_by_micro(fid)
 
         dynamics_summary = None
@@ -813,6 +895,7 @@ class CloudBuilder:
         control_loss_prob: float = 0.0,
         packet_pool: bool = False,
         calendar: bool = True,
+        vectorized: bool = False,
     ) -> None:
         if scheme not in SCHEME_STRATEGIES:
             raise ConfigurationError(
@@ -826,6 +909,7 @@ class CloudBuilder:
         self.control_loss_prob = control_loss_prob
         self.packet_pool = packet_pool
         self.calendar = calendar
+        self.vectorized = vectorized
         self._flows: List[FlowPathSpec] = []
 
     def add_flow(self, spec: Union[FlowPathSpec, None] = None, **kwargs) -> "CloudBuilder":
@@ -858,6 +942,7 @@ class CloudBuilder:
             control_loss_prob=self.control_loss_prob,
             packet_pool=self.packet_pool,
             calendar=self.calendar,
+            vectorized=self.vectorized,
         )
         cloud.add_flows(self._flows)
         if finalize:

@@ -78,6 +78,7 @@ class BaseNetwork(Cloud):
         ] = None,
         topology_spec: Optional[TopologySpec] = None,
         config=None,
+        vectorized: bool = False,
     ) -> None:
         """``queue_factory`` overrides the default 40-packet drop-tail
         buffer on every link (used by the AQM ablations to swap in RED or
@@ -118,6 +119,7 @@ class BaseNetwork(Cloud):
             seed=seed,
             queue_factory=queue_factory,
             control_loss_prob=control_loss_prob,
+            vectorized=vectorized,
         )
         # Historical attribute: the uniform chain capacity kwarg, kept
         # even when a graph/spec ignores it.

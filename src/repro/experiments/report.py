@@ -54,8 +54,9 @@ def format_table(
         "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
         "  ".join("-" * w for w in widths),
     ]
-    for row in str_rows:
-        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    lines.extend(
+        "  ".join(c.rjust(w) for c, w in zip(row, widths)) for row in str_rows
+    )
     return "\n".join(lines)
 
 
@@ -90,7 +91,7 @@ def ascii_chart(
         y_max = 1.0
 
     grid = [[" "] * width for _ in range(height)]
-    for marker, (name, s) in zip(markers, series.items()):
+    for marker, s in zip(markers, series.values()):
         bins: Dict[int, List[float]] = {}
         for t, v in s:
             col = min(width - 1, int((t - t_min) / (t_max - t_min) * (width - 1)))
@@ -104,8 +105,7 @@ def ascii_chart(
     if title:
         lines.append(title)
     lines.append(f"{y_max:8.1f} +" + "-" * width)
-    for row in grid:
-        lines.append(" " * 9 + "|" + "".join(row))
+    lines.extend(" " * 9 + "|" + "".join(row) for row in grid)
     lines.append(f"{0.0:8.1f} +" + "-" * width)
     lines.append(" " * 10 + f"t = {t_min:.0f} .. {t_max:.0f} s")
     legend = "  ".join(

@@ -38,6 +38,11 @@ Arbitrary clouds use the declarative ``"topology"`` key instead of the
 (``control_loss_prob`` is still allowed under ``"network"``).  Unknown
 keys are rejected (silent typos in experiment definitions are the
 classic way to benchmark the wrong thing).
+
+Scale knobs: a top-level ``"vectorized": true`` opts the edges into the
+array-backed control plane (statistically equivalent, not byte-identical
+— see docs/REPRODUCING.md), and a per-flow ``"aggregate": N`` makes one
+flow entry stand for a bucket of N identical member flows.
 """
 
 from __future__ import annotations
@@ -69,7 +74,8 @@ _SCHEMES = {
 }
 
 _TOP_KEYS = {"scheme", "seed", "duration", "sample_interval", "record_queues",
-             "network", "topology", "config", "flows", "description"}
+             "network", "topology", "config", "flows", "description",
+             "vectorized"}
 _NETWORK_KEYS = {"num_cores", "core_capacity_pps", "access_capacity_pps",
                  "prop_delay", "queue_capacity", "control_loss_prob",
                  "core_links"}
@@ -77,7 +83,7 @@ _NETWORK_KEYS = {"num_cores", "core_capacity_pps", "access_capacity_pps",
 #: an explicit "topology" section.
 _NETWORK_SHAPE_KEYS = _NETWORK_KEYS - {"control_loss_prob"}
 _FLOW_KEYS = {"id", "weight", "ingress", "egress", "schedule", "min_rate",
-              "source", "transport", "micro_flows"}
+              "source", "transport", "micro_flows", "aggregate"}
 _SOURCE_KEYS = {"kind", "mean_rate", "peak_rate", "mean_on", "mean_off",
                 "total_packets"}
 
@@ -123,6 +129,7 @@ def _parse_flow(raw: Mapping, default_ingress: str, default_egress: str) -> Flow
         "egress_core": raw.get("egress", default_egress),
         "min_rate": float(raw.get("min_rate", 0.0)),
         "transport": raw.get("transport", "shaped"),
+        "aggregate": int(raw.get("aggregate", 1)),
     }
     if "schedule" in raw:
         kwargs["schedule"] = _parse_schedule(raw["schedule"])
@@ -175,6 +182,7 @@ def build_network(scenario: Mapping) -> BaseNetwork:
     cls = _SCHEMES[scheme]
     kwargs = dict(network_raw)
     kwargs["seed"] = int(scenario.get("seed", 0))
+    kwargs["vectorized"] = bool(scenario.get("vectorized", False))
     if config is not None:
         kwargs["config"] = config
     net = cls(**kwargs)  # type: ignore[arg-type]

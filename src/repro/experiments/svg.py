@@ -152,7 +152,7 @@ def render_series_svg(
     )
 
     # Polylines.
-    for index, (name, s) in enumerate(populated.items()):
+    for index, s in enumerate(populated.values()):
         color = PALETTE[index % len(PALETTE)]
         points = " ".join(
             f"{sx(t):.1f},{sy(min(v, y_max)):.1f}" for t, v in s

@@ -426,23 +426,20 @@ class TopologySpec:
         links: List[LinkSpec] = []
         cores: List[str] = []
         for p in range(1, k + 1):
-            for i in range(1, half + 1):
-                cores.append(f"P{p}E{i}")
-            for j in range(1, half + 1):
-                cores.append(f"P{p}A{j}")
-            for i in range(1, half + 1):
-                for j in range(1, half + 1):
-                    links.append(
-                        LinkSpec(f"P{p}E{i}", f"P{p}A{j}", capacity_pps, prop_delay)
-                    )
-        for c in range(1, half * half + 1):
-            cores.append(f"C{c}")
-        for p in range(1, k + 1):
-            for j in range(1, half + 1):
-                for c in range((j - 1) * half + 1, j * half + 1):
-                    links.append(
-                        LinkSpec(f"P{p}A{j}", f"C{c}", capacity_pps, prop_delay)
-                    )
+            cores.extend(f"P{p}E{i}" for i in range(1, half + 1))
+            cores.extend(f"P{p}A{j}" for j in range(1, half + 1))
+            links.extend(
+                LinkSpec(f"P{p}E{i}", f"P{p}A{j}", capacity_pps, prop_delay)
+                for i in range(1, half + 1)
+                for j in range(1, half + 1)
+            )
+        cores.extend(f"C{c}" for c in range(1, half * half + 1))
+        links.extend(
+            LinkSpec(f"P{p}A{j}", f"C{c}", capacity_pps, prop_delay)
+            for p in range(1, k + 1)
+            for j in range(1, half + 1)
+            for c in range((j - 1) * half + 1, j * half + 1)
+        )
         kwargs.setdefault("name", f"fat-tree-{k}")
         kwargs.setdefault("routing_mode", "ecmp")
         return cls(links=tuple(links), cores=tuple(cores), **kwargs)
@@ -623,6 +620,18 @@ class FlowPathSpec:
         sender/receiver host pair is attached through the edges; the
         ingress edge shapes and polices the TCP stream to ``bg(f)``
         (the §4.4/§6 edge-host interaction).
+    aggregate:
+        Member count of a same-(path, weight) flow bucket.  ``N > 1``
+        makes this spec stand for N identical member flows carried by a
+        *single* network flow whose weight is ``N * weight`` and whose
+        access links get N times the capacity; the ingress controller's
+        gains scale so the bucket tracks the sum of N individual flows
+        (see :class:`repro.core.adaptation.RateController`).  This is
+        how scenarios scale by bucket count instead of object count.
+        ``weight``/``min_rate`` stay *per member*.  Mutually exclusive
+        with ``micro_flows`` and TCP transport; a finite ``source``
+        describes one member and is superposed N-fold by a
+        :class:`repro.sim.sources.PacedAggregateSource`.
     """
 
     flow_id: int
@@ -634,6 +643,7 @@ class FlowPathSpec:
     source: Optional[SourceSpec] = None
     micro_flows: Tuple[Tuple[int, SourceSpec], ...] = ()
     transport: str = "shaped"
+    aggregate: int = 1
 
     def __post_init__(self) -> None:
         if self.weight <= 0:
@@ -679,6 +689,30 @@ class FlowPathSpec:
                         f"flow {self.flow_id}: micro-flow {mid} needs a "
                         "finite-rate source"
                     )
+        if self.aggregate < 1:
+            raise FlowError(
+                f"flow {self.flow_id}: aggregate must be >= 1, "
+                f"got {self.aggregate}"
+            )
+        if self.aggregate > 1:
+            if self.micro_flows:
+                raise FlowError(
+                    f"flow {self.flow_id}: aggregate and micro_flows are "
+                    "exclusive (an aggregate builds its own mux)"
+                )
+            if self.transport == "tcp":
+                raise FlowError(
+                    f"flow {self.flow_id}: TCP flows cannot be aggregated"
+                )
+            if self.source is not None and self.source.kind not in (
+                "backlogged",
+                "poisson",
+            ):
+                raise FlowError(
+                    f"flow {self.flow_id}: aggregate members must be "
+                    "backlogged or poisson (superposition of "
+                    f"{self.source.kind!r} sources is not memoryless)"
+                )
 
     @property
     def backlogged(self) -> bool:
@@ -686,6 +720,21 @@ class FlowPathSpec:
         if self.micro_flows or self.transport == "tcp":
             return False
         return self.source is None or self.source.is_backlogged
+
+    @property
+    def network_weight(self) -> float:
+        """The weight of the flow *as the network sees it*.
+
+        For an aggregate bucket that is ``N * weight`` — the bucket
+        competes for N members' worth of share.  (``N=1`` multiplies by
+        exactly 1, a float identity.)
+        """
+        return self.weight * self.aggregate
+
+    @property
+    def network_min_rate(self) -> float:
+        """Bucket-total minimum rate contract (member min_rate x N)."""
+        return self.min_rate * self.aggregate
 
     @property
     def ingress_edge(self) -> str:
@@ -708,7 +757,7 @@ class FlowPathSpec:
         if self.micro_flows:
             return sum(s.offered_rate() for _mid, s in self.micro_flows)
         if self.source is not None:
-            return self.source.offered_rate()
+            return self.source.offered_rate() * self.aggregate
         return math.inf
 
 

@@ -89,7 +89,7 @@ def _fig34_checks(report: ReproReport, scale: float, seed: int) -> None:
     by_weight: Dict[float, List[int]] = {}
     for fid in always_on:
         by_weight.setdefault(result.flows[fid].weight, []).append(fid)
-    for weight, fids in by_weight.items():
+    for fids in by_weight.values():
         served = [result.flows[f].delivered for f in fids]
         spreads.append(max(served) / min(served))
     report.add(

@@ -242,7 +242,13 @@ def _bench_scenario_chain4(scale: float, pool: bool = False) -> Tuple[int, float
 
 
 def _flow_scaling_cloud(
-    scheme: str, flows: int, *, packet_pool: bool = False, calendar: bool = True
+    scheme: str,
+    flows: int,
+    *,
+    packet_pool: bool = False,
+    calendar: bool = True,
+    vectorized: bool = False,
+    aggregate: int = 1,
 ):
     """A 2-core chain with ``flows`` backlogged flows crossing it.
 
@@ -252,36 +258,59 @@ def _flow_scaling_cloud(
     at one particular load.  Weights cycle 1..4 like the §4.1 scenarios.
     ``packet_pool``/``calendar`` feed the replay tests, which pin the
     same cloud byte-identical with each optimization toggled off.
+
+    ``vectorized`` opts the edges into the array-backed control plane
+    (and, for corelite, the batched marker/feedback transport);
+    ``aggregate`` folds every ``aggregate`` member flows into one
+    aggregated bucket (``flows`` must divide evenly), keeping the same
+    total weight profile: bucket ``b`` carries the weight class
+    ``1 + (b % 4)`` for all of its members.
     """
     from repro.experiments.builder import CloudBuilder
     from repro.experiments.topospec import FlowPathSpec, TopologySpec
 
+    if aggregate < 1 or flows % aggregate:
+        raise ConfigurationError(
+            f"aggregate ({aggregate}) must divide the flow count ({flows})"
+        )
     spec = TopologySpec.chain(
         2, capacity_pps=8.0 * flows, name=f"flow-scaling-{flows}"
     )
     builder = CloudBuilder(
-        spec, scheme=scheme, seed=0, packet_pool=packet_pool, calendar=calendar
+        spec,
+        scheme=scheme,
+        seed=0,
+        packet_pool=packet_pool,
+        calendar=calendar,
+        vectorized=vectorized,
     )
-    for fid in range(1, flows + 1):
+    for fid in range(1, flows // aggregate + 1):
         builder.add_flow(
             FlowPathSpec(
                 fid,
                 weight=1.0 + (fid % 4),
                 ingress_core="C1",
                 egress_core="C2",
+                aggregate=aggregate,
             )
         )
     return builder.build()
 
 
 def _bench_flow_scaling(
-    scale: float, scheme: str = "corelite", flows: int = 512
+    scale: float,
+    scheme: str = "corelite",
+    flows: int = 512,
+    vectorized: bool = False,
+    aggregate: int = 1,
 ) -> Tuple[int, float]:
     """End-to-end pkts/s with a dense flow population (the PR 5 target).
 
     Build and route computation are excluded from the timing: the unit is
     *delivered data packets* during ``cloud.run``, which is what the
     flow-scale hot-path work (timer tier, slot tables) actually changes.
+    Aggregated variants count the same unit — packets that actually
+    crossed the simulated network — never member-multiplied totals.
 
     The horizon ignores ``scale`` on purpose: the first ~2 simulated
     seconds are startup transient (senders ramping, labels converging)
@@ -291,7 +320,9 @@ def _bench_flow_scaling(
     """
     del scale  # see docstring: short horizons sit inside the transient
     horizon = 8.0
-    cloud = _flow_scaling_cloud(scheme, flows)
+    cloud = _flow_scaling_cloud(
+        scheme, flows, vectorized=vectorized, aggregate=aggregate
+    )
     started = time.perf_counter()
     result = cloud.run(until=horizon, sample_interval=1.0)
     elapsed = time.perf_counter() - started
@@ -316,23 +347,103 @@ BENCHES: Dict[str, Tuple[Callable[[float], Tuple[int, float]], str]] = {
 
 #: Flow-population points for the flow_scaling bench family.  512 is the
 #: PR 5 acceptance point; 64/256/1024 trace the scaling curve for both
-#: schemes under comparison.
+#: schemes under comparison; 4096 extends the scalar curve to where
+#: object-per-flow overhead is undeniable (its cloud *build* alone takes
+#: minutes, hence the repeat cap below).
 FLOW_SCALING_POINTS: Tuple[Tuple[str, int], ...] = (
     ("corelite", 64),
     ("corelite", 256),
     ("corelite", 512),
     ("corelite", 1024),
+    ("corelite", 4096),
     ("csfq", 64),
     ("csfq", 256),
     ("csfq", 1024),
+    ("csfq", 4096),
 )
 
+#: Vectorized + aggregated variants: (scheme, flows, aggregate).  The
+#: ``_vec`` rungs carry the same member-flow population as their scalar
+#: namesakes, folded into ``flows / aggregate`` buckets riding the
+#: array-backed control plane — the PR 7 configuration under test.
+FLOW_SCALING_VEC_POINTS: Tuple[Tuple[str, int, int], ...] = (
+    ("corelite", 1024, 256),
+    ("corelite", 4096, 256),
+    ("csfq", 1024, 256),
+    ("csfq", 4096, 256),
+)
+
+#: 16384-member rungs are vectorized + aggregated *by construction* (no
+#: ``_vec`` suffix): building 32k+ per-flow edge objects and their routes
+#: is infeasible at bench timescales, which is precisely the regime the
+#: aggregated mode exists for.
+FLOW_SCALING_LARGE_POINTS: Tuple[Tuple[str, int, int], ...] = (
+    ("corelite", 16384, 256),
+    ("csfq", 16384, 256),
+)
+
+# Registration order is suite run order, and it matters: the scalar
+# 4096 clouds leave the process holding gigabytes of allocator arenas,
+# which measurably depresses every bench that runs after them.  The
+# small scalar rungs and the vectorized rungs therefore run first, the
+# 4096 scalar rungs after, and the 16384 clouds (the biggest) last.
 for _scheme, _flows in FLOW_SCALING_POINTS:
-    BENCHES[f"flow_scaling_{_scheme}_{_flows}"] = (
-        functools.partial(_bench_flow_scaling, scheme=_scheme, flows=_flows),
+    if _flows < 4096:
+        BENCHES[f"flow_scaling_{_scheme}_{_flows}"] = (
+            functools.partial(_bench_flow_scaling, scheme=_scheme, flows=_flows),
+            "packets",
+        )
+for _scheme, _flows, _agg in FLOW_SCALING_VEC_POINTS:
+    BENCHES[f"flow_scaling_{_scheme}_{_flows}_vec"] = (
+        functools.partial(
+            _bench_flow_scaling,
+            scheme=_scheme,
+            flows=_flows,
+            vectorized=True,
+            aggregate=_agg,
+        ),
         "packets",
     )
-del _scheme, _flows
+for _scheme, _flows in FLOW_SCALING_POINTS:
+    if _flows >= 4096:
+        BENCHES[f"flow_scaling_{_scheme}_{_flows}"] = (
+            functools.partial(_bench_flow_scaling, scheme=_scheme, flows=_flows),
+            "packets",
+        )
+for _scheme, _flows, _agg in FLOW_SCALING_LARGE_POINTS:
+    BENCHES[f"flow_scaling_{_scheme}_{_flows}"] = (
+        functools.partial(
+            _bench_flow_scaling,
+            scheme=_scheme,
+            flows=_flows,
+            vectorized=True,
+            aggregate=_agg,
+        ),
+        "packets",
+    )
+del _scheme, _flows, _agg
+
+#: Per-bench repeat ceilings, applied by :func:`run_suite` on top of its
+#: global repeat count.  The scalar 4096 rungs spend minutes *building*
+#: their clouds (measured time excludes the build, but the wall clock
+#: does not), and the 16384 rungs move ~10x the packets of the 1024
+#: ones; without caps the full suite would take hours.
+BENCH_REPEAT_CAPS: Dict[str, int] = {
+    "flow_scaling_corelite_4096": 1,
+    "flow_scaling_csfq_4096": 1,
+    "flow_scaling_corelite_16384": 2,
+    "flow_scaling_csfq_16384": 2,
+}
+
+#: Benches too heavy for quick (CI smoke) mode.  ``flow_scaling_corelite_16384``
+#: is deliberately *not* here: CI runs it as the many-flow smoke rung.
+QUICK_SKIP_BENCHES = frozenset(
+    {
+        "flow_scaling_corelite_4096",
+        "flow_scaling_csfq_4096",
+        "flow_scaling_csfq_16384",
+    }
+)
 
 
 # ---------------------------------------------------------------------------
@@ -468,8 +579,9 @@ def run_suite(
 
     def run_or_skip(name: str) -> Optional[BenchResult]:
         kwargs = {"pool": pool} if name == "scenario_chain4" and pool else {}
+        reps = min(repeats, BENCH_REPEAT_CAPS.get(name, repeats))
         try:
-            return run_bench(name, scale=scale, repeats=repeats, **kwargs)
+            return run_bench(name, scale=scale, repeats=reps, **kwargs)
         except NotImplementedError:
             return None
 
@@ -477,6 +589,11 @@ def run_suite(
     skipped: List[str] = []
     started = time.perf_counter()
     for name in BENCHES:
+        if quick and name in QUICK_SKIP_BENCHES:
+            skipped.append(name)
+            if log is not None:
+                log(f"  {name}: skipped (too heavy for quick mode)")
+            continue
         result = run_or_skip(name)
         if result is None:
             skipped.append(name)

@@ -1,0 +1,275 @@
+"""Slot-indexed per-flow state arrays (the vectorized control plane).
+
+The PR 5 edge tables gave every edge a dense, attach-ordered list of
+per-flow objects keyed by stable slot indices.  This module is the next
+step: the per-flow *scalars* those objects carry — allotted rates,
+weights, adaptation phase, feedback counts, shaper credit and backlog —
+move into slot-indexed NumPy ``float64``/``int64`` columns owned by a
+:class:`FlowArrayBank`, and the per-flow objects become thin views that
+read and write their slot.  A congestion epoch then runs as one masked
+array sweep (see ``CoreliteEdge._epoch_vectorized``) instead of N
+Python-object updates.
+
+Design rules:
+
+* **Slots are never reused.**  A bank column only grows (amortized
+  doubling), and a flow's slot is fixed at attach time — exactly the
+  PR 5 slot-table contract, so the same index keys both the object list
+  and every column.
+* **Columns are re-fetched through the bank.**  Growth reallocates the
+  arrays, so views never cache a column reference; they index
+  ``bank.<column>[slot]`` on each access.  Epoch sweeps may hold a
+  column for the duration of one sweep (no attach can interleave with an
+  event callback).
+* **Masking is the active sweep.**  Sweeps operate on the edge's dense
+  array of *active* slot indices (rebuilt lazily after start/stop
+  transitions, in attach order), so stopped flows cost nothing and the
+  visit order matches the scalar path's replay order.
+
+Everything here is opt-in: the scalar edges never import this module,
+and the default build path stays byte-identical to the object-based
+implementation (pinned by the PR 7 replay-fingerprint tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.adaptation import Phase
+from repro.core.shaping import PacedSender
+from repro.errors import ConfigurationError
+
+__all__ = ["FlowArrayBank", "ArrayRateController", "ArrayPacedSender"]
+
+#: Column name -> dtype for one edge's ingress bank.  ``phase`` is 0 for
+#: slow-start and 1 for linear (matching ``Phase`` declaration order);
+#: ``backlog`` uses -1 as the "always backlogged" sentinel (the object
+#: view renders it as ``None``).
+_INGRESS_COLUMNS: Dict[str, np.dtype] = {
+    "rate": np.dtype(np.float64),
+    "weight": np.dtype(np.float64),
+    "min_rate": np.dtype(np.float64),
+    "alpha_scale": np.dtype(np.float64),
+    "rate_scale": np.dtype(np.float64),
+    "phase": np.dtype(np.int8),
+    "last_double": np.dtype(np.float64),
+    "feedback_peak": np.dtype(np.int64),
+    "losses": np.dtype(np.int64),
+    "backlog": np.dtype(np.int64),
+    "shaper_rate": np.dtype(np.float64),
+    "shaper_credit": np.dtype(np.float64),
+    "increases": np.dtype(np.int64),
+    "decreases": np.dtype(np.int64),
+    "feedback_total": np.dtype(np.int64),
+    "slow_start_exits": np.dtype(np.int64),
+}
+
+_PHASES: Tuple[Phase, ...] = (Phase.SLOW_START, Phase.LINEAR)
+
+
+class FlowArrayBank:
+    """Grow-only, slot-indexed columns of per-flow edge state.
+
+    One bank belongs to one edge router.  ``alloc()`` hands out slots
+    0, 1, 2, ... and guarantees every column is long enough; columns are
+    exposed as plain ``np.ndarray`` attributes (``bank.rate`` etc.) and
+    are replaced wholesale on growth — fetch them through the bank, not
+    through a stashed reference.
+    """
+
+    __slots__ = ("size", "capacity") + tuple(_INGRESS_COLUMNS)
+
+    def __init__(self, capacity: int = 16) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"bank capacity must be >= 1, got {capacity}")
+        self.size = 0
+        self.capacity = capacity
+        for name, dtype in _INGRESS_COLUMNS.items():
+            setattr(self, name, np.zeros(capacity, dtype=dtype))
+
+    def alloc(self) -> int:
+        """Allocate the next slot, growing every column as needed."""
+        slot = self.size
+        if slot >= self.capacity:
+            new_capacity = self.capacity * 2
+            for name in _INGRESS_COLUMNS:
+                old = getattr(self, name)
+                grown = np.zeros(new_capacity, dtype=old.dtype)
+                grown[: self.capacity] = old
+                setattr(self, name, grown)
+            self.capacity = new_capacity
+        self.size = slot + 1
+        return slot
+
+
+class ArrayRateController:
+    """Array-backed twin of :class:`repro.core.adaptation.RateController`.
+
+    Same public surface (``rate``, ``phase``, ``on_epoch``, ``restart``,
+    the adaptation counters), but every scalar lives in the owning
+    :class:`FlowArrayBank` at this controller's slot.  The vectorized
+    epoch sweep bypasses ``on_epoch`` entirely and updates the columns
+    in bulk; ``on_epoch`` remains for API parity so code written against
+    the scalar controller (tests, monitors, manual stepping) behaves
+    identically.
+    """
+
+    __slots__ = ("config", "bank", "slot")
+
+    def __init__(
+        self,
+        config,
+        weight: float,
+        bank: FlowArrayBank,
+        slot: int,
+        start_time: float = 0.0,
+        min_rate: float | None = None,
+        alpha_scale: float = 1.0,
+        rate_scale: float = 1.0,
+    ) -> None:
+        if weight <= 0:
+            raise ConfigurationError(f"weight must be positive, got {weight}")
+        if alpha_scale <= 0 or rate_scale <= 0:
+            raise ConfigurationError("aggregate gain scales must be positive")
+        self.config = config
+        self.bank = bank
+        self.slot = slot
+        resolved_min = config.min_rate if min_rate is None else min_rate
+        if resolved_min < 0:
+            raise ConfigurationError(f"min_rate must be >= 0, got {resolved_min}")
+        bank.weight[slot] = weight
+        bank.min_rate[slot] = resolved_min
+        bank.alpha_scale[slot] = alpha_scale
+        bank.rate_scale[slot] = rate_scale
+        bank.rate[slot] = max(config.initial_rate * rate_scale, resolved_min)
+        bank.phase[slot] = 0
+        bank.last_double[slot] = start_time
+
+    # -- scalar views over the columns -----------------------------------
+
+    @property
+    def rate(self) -> float:
+        return float(self.bank.rate[self.slot])
+
+    @rate.setter
+    def rate(self, value: float) -> None:
+        self.bank.rate[self.slot] = value
+
+    @property
+    def weight(self) -> float:
+        return float(self.bank.weight[self.slot])
+
+    @property
+    def min_rate(self) -> float:
+        return float(self.bank.min_rate[self.slot])
+
+    @property
+    def phase(self) -> Phase:
+        return _PHASES[int(self.bank.phase[self.slot])]
+
+    @property
+    def increases(self) -> int:
+        return int(self.bank.increases[self.slot])
+
+    @property
+    def decreases(self) -> int:
+        return int(self.bank.decreases[self.slot])
+
+    @property
+    def feedback_total(self) -> int:
+        return int(self.bank.feedback_total[self.slot])
+
+    @property
+    def slow_start_exits(self) -> int:
+        return int(self.bank.slow_start_exits[self.slot])
+
+    # -- behavior (scalar fallback; the epoch sweep vectorizes this) -----
+
+    def restart(self, now: float) -> None:
+        bank, slot = self.bank, self.slot
+        bank.rate[slot] = max(
+            self.config.initial_rate * bank.rate_scale[slot], bank.min_rate[slot]
+        )
+        bank.phase[slot] = 0
+        bank.last_double[slot] = now
+
+    def on_epoch(self, feedback_count: int, now: float) -> float:
+        """Scalar single-flow epoch, mirroring ``RateController.on_epoch``."""
+        if feedback_count < 0:
+            raise ConfigurationError(
+                f"feedback_count must be >= 0, got {feedback_count}"
+            )
+        bank, slot = self.bank, self.slot
+        cfg = self.config
+        bank.feedback_total[slot] += feedback_count
+        rate = float(bank.rate[slot])
+        if bank.phase[slot] == 0:
+            if feedback_count > 0:
+                bank.rate[slot] = self._clamp(rate / 2.0)
+                bank.phase[slot] = 1
+                bank.slow_start_exits[slot] += 1
+                bank.decreases[slot] += 1
+            elif now - bank.last_double[slot] >= cfg.ss_double_interval:
+                rate = self._clamp(rate * 2.0)
+                bank.rate[slot] = rate
+                bank.last_double[slot] = now
+                if rate / bank.weight[slot] > cfg.ss_thresh:
+                    bank.rate[slot] = self._clamp(rate / 2.0)
+                    bank.phase[slot] = 1
+                    bank.slow_start_exits[slot] += 1
+        elif feedback_count == 0:
+            bank.rate[slot] = self._clamp(rate + cfg.alpha * bank.alpha_scale[slot])
+            bank.increases[slot] += 1
+        else:
+            bank.rate[slot] = self._clamp(rate - cfg.beta * feedback_count)
+            bank.decreases[slot] += 1
+        return float(bank.rate[slot])
+
+    def _clamp(self, rate: float) -> float:
+        bank, slot = self.bank, self.slot
+        ceiling = self.config.max_rate * bank.rate_scale[slot]
+        return min(ceiling, max(bank.min_rate[slot], max(0.0, rate)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ArrayRateController(slot={self.slot}, rate={self.rate:.2f} pps, "
+            f"w={self.weight}, phase={self.phase.value})"
+        )
+
+
+class ArrayPacedSender(PacedSender):
+    """A :class:`PacedSender` mirrored into the bank's shaper columns.
+
+    The token-bucket *logic* and its hot scalars are inherited unchanged:
+    the per-packet accrual path reads plain instance floats.  (An earlier
+    revision redirected ``_rate``/``_credit`` into the bank through
+    properties; at 10^5 packets/s the numpy scalar indexing on every
+    token-bucket touch cost more than the vectorized epoch saved.)
+    Instead, ``bank.shaper_rate``/``bank.shaper_credit`` are *programming
+    snapshots*, written through whenever the rate is (re)programmed — at
+    attach, ``start`` and every ``set_rate`` — which is exactly when the
+    epoch sweep runs.  Column readers therefore see the state as of the
+    last control-plane action, which is the granularity the sweeps needs;
+    only the sub-epoch token balance is private to the object.
+    """
+
+    __slots__ = ("bank", "slot")
+
+    def __init__(self, bank: FlowArrayBank, slot: int, sim, rate, emit, burst=1.0):
+        self.bank = bank
+        self.slot = slot
+        super().__init__(sim, rate, emit, burst=burst)
+        bank.shaper_rate[slot] = self._rate
+        bank.shaper_credit[slot] = self._credit
+
+    def start(self) -> None:
+        super().start()
+        self.bank.shaper_credit[self.slot] = self._credit
+
+    def set_rate(self, rate: float) -> None:
+        super().set_rate(rate)
+        bank, slot = self.bank, self.slot
+        bank.shaper_rate[slot] = self._rate
+        bank.shaper_credit[slot] = self._credit
