@@ -284,6 +284,9 @@ def build_parser() -> argparse.ArgumentParser:
         "point, and optionally gate against a previous report with a "
         "regression threshold — the proof layer for hot-path work.",
     )
+    bench.add_argument("--list", action="store_true", dest="list_benches",
+                       help="enumerate the registered benchmarks (name, work "
+                            "unit, repeat cap, quick-mode status) and exit")
     bench.add_argument("--label", type=str, default="local",
                        help="report label; the file is BENCH_<label>.json")
     bench.add_argument("--out-dir", type=str, default="benchmarks/results",
@@ -405,6 +408,23 @@ def _run_bench(args: argparse.Namespace) -> Dict:
     import os
 
     from repro import perf
+
+    if args.list_benches:
+        rows = []
+        for name, (_fn, unit) in perf.BENCHES.items():
+            cap = perf.BENCH_REPEAT_CAPS.get(name)
+            rows.append((
+                name,
+                unit,
+                str(cap) if cap is not None else "-",
+                "skipped" if name in perf.QUICK_SKIP_BENCHES else "runs",
+            ))
+        width = max(len(row[0]) for row in rows)
+        print(f"{'bench':<{width}} {'unit':>8} {'cap':>4} {'quick':>8}")
+        for name, unit, cap, quick in rows:
+            print(f"{name:<{width}} {unit:>8} {cap:>4} {quick:>8}")
+        print(f"\n{len(rows)} registered benchmarks")
+        return {"benches": [row[0] for row in rows]}
 
     print(f"== corelite bench ({'quick' if args.quick else 'full'} suite) ==")
     with _maybe_profile(args.profile):

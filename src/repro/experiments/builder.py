@@ -175,6 +175,15 @@ class CoreliteStrategy(SchemeStrategy):
         def send_feedback(packet: Packet, router_name: str = name) -> None:
             edge = cloud.edges.get(packet.dst)
             if edge is None:
+                # In a partitioned cloud the marker's origin edge may live
+                # in another partition: hand the feedback to the partition
+                # runtime, which delivers it across the cut at reverse-path
+                # propagation delay (>= one window by construction).
+                if cloud.partition is not None:
+                    cloud.partition.send_control(
+                        router_name, packet.dst, "feedback", packet
+                    )
+                    return
                 raise FlowError(f"feedback for unknown edge {packet.dst!r}")
             cloud.control.send(router_name, packet.dst, edge.receive_feedback, packet)
 
@@ -310,6 +319,11 @@ class CsfqStrategy(SchemeStrategy):
         def loss_channel(packet: Packet, src: str = name) -> None:
             ingress = cloud.edges.get(packet.dst)
             if ingress is None:
+                # Cross-partition loss notification (see CoreliteStrategy's
+                # feedback path): route through the partition runtime.
+                if cloud.partition is not None:
+                    cloud.partition.send_control(src, packet.dst, "loss", packet)
+                    return
                 raise FlowError(f"loss notification for unknown edge {packet.dst!r}")
             cloud.control.send(src, packet.dst, ingress.receive_loss_notify, packet)
 
@@ -392,6 +406,7 @@ class Cloud:
         packet_pool: bool = False,
         calendar: bool = True,
         vectorized: bool = False,
+        partition=None,
     ) -> None:
         """``queue_factory`` overrides the default drop-tail buffer on
         every link (used by the AQM ablations to swap in RED or DECbit
@@ -407,7 +422,14 @@ class Cloud:
         ``vectorized=True`` moves per-flow edge state into slot-indexed
         NumPy arrays and runs each congestion epoch as one masked sweep;
         results are statistically equivalent (pinned by Jain/per-flow
-        tolerance tests) but not guaranteed byte-identical."""
+        tolerance tests) but not guaranteed byte-identical.
+
+        ``partition`` (internal; set by :mod:`repro.experiments.pdes`)
+        restricts the build to one domain of a partitioned cloud: only
+        the cores/edges the partition owns are constructed, cut links
+        become :class:`~repro.sim.link.BoundaryLink` halves emitting into
+        the partition's outbox, and routing/control delays are resolved
+        over the partition runtime's global shadow graph."""
         if not isinstance(spec, TopologySpec):
             raise ConfigurationError(
                 f"Cloud needs a TopologySpec, got {type(spec).__name__}"
@@ -417,6 +439,9 @@ class Cloud:
         strategy.bind(self)
         self.scheme = strategy.scheme
         self.vectorized = vectorized
+        #: Partition runtime when this cloud is one domain of a
+        #: partitioned run; ``None`` for the serial build.
+        self.partition = partition
         self.config = strategy.make_config()
         self.sim = Simulator(calendar=calendar)
         if packet_pool:
@@ -424,12 +449,20 @@ class Cloud:
         self.rng = RngRegistry(seed)
         self.seed = seed
         self.topology = Topology(self.sim)
-        self.control = ControlPlane(
-            self.sim,
-            self.topology,
-            loss_prob=control_loss_prob,
-            rng=self.rng.stream("control-loss") if control_loss_prob > 0 else None,
-        )
+        if partition is None:
+            self.control = ControlPlane(
+                self.sim,
+                self.topology,
+                loss_prob=control_loss_prob,
+                rng=self.rng.stream("control-loss") if control_loss_prob > 0 else None,
+            )
+        else:
+            if control_loss_prob > 0:
+                raise ConfigurationError(
+                    "partitioned clouds do not support control_loss_prob "
+                    "(the lossy control plane draws from one shared stream)"
+                )
+            self.control = partition.make_control_plane(self)
         self.access_capacity_pps = spec.access_capacity_pps
         self.prop_delay = spec.access_prop_delay
         self.queue_capacity = spec.queue_capacity
@@ -458,15 +491,33 @@ class Cloud:
 
         self.topology.set_routing(spec.routing_mode, spec.ecmp_flowlet_n_packets)
         for name in self.core_names:
-            self.topology.add_node(self._make_core(name))
+            if partition is None or partition.owns(name):
+                self.topology.add_node(self._make_core(name))
         for link in spec.links:
-            self.topology.add_duplex_link(
-                link.a,
-                link.b,
-                link.capacity_pps,
-                link.prop_delay,
-                self._link_queue_factory(link),
-            )
+            factory = self._link_queue_factory(link)
+            if partition is None:
+                self.topology.add_duplex_link(
+                    link.a, link.b, link.capacity_pps, link.prop_delay, factory
+                )
+                continue
+            a_local = partition.owns(link.a)
+            b_local = partition.owns(link.b)
+            if a_local and b_local:
+                self.topology.add_duplex_link(
+                    link.a, link.b, link.capacity_pps, link.prop_delay, factory
+                )
+            elif a_local:
+                # Each side of a cut duplex builds only its *outgoing*
+                # half; the reverse direction is the other partition's.
+                self.topology.add_boundary_link(
+                    link.a, link.b, link.capacity_pps, link.prop_delay,
+                    factory, partition.boundary_emit(link.b),
+                )
+            elif b_local:
+                self.topology.add_boundary_link(
+                    link.b, link.a, link.capacity_pps, link.prop_delay,
+                    factory, partition.boundary_emit(link.a),
+                )
         strategy.clamp_config(self)
 
     def _link_queue_factory(self, link: LinkSpec) -> Callable[[], DropTailQueue]:
@@ -512,6 +563,9 @@ class Cloud:
                     f"core of topology {self.spec.name!r} "
                     f"(cores: {sorted(self.core_names)})"
                 )
+        if self.partition is not None:
+            self._add_flow_partitioned(spec)
+            return
         ingress = self._make_edge(spec.ingress_edge)
         egress = self._make_edge(spec.egress_edge)
         self.topology.add_node(ingress)
@@ -542,6 +596,53 @@ class Cloud:
             self._attach_tcp_hosts(spec)
         self.flows[spec.flow_id] = spec
 
+    def _add_flow_partitioned(self, spec: FlowPathSpec) -> None:
+        """Build only the locally-owned slice of a flow.
+
+        A flow's edges follow their cores: the ingress edge, its access
+        links and the traffic source live in the ingress core's
+        partition; the egress edge and its accounting live in the egress
+        core's.  A flow touching neither partition contributes nothing
+        locally (it is still registered with the runtime so the shadow
+        graph and routing tables agree globally).
+        """
+        partition = self.partition
+        if spec.transport == "tcp":
+            raise ConfigurationError(
+                f"flow {spec.flow_id}: TCP transport is not supported in "
+                "partitioned clouds (host attachment spans partitions)"
+            )
+        ingress_local = partition.owns(spec.ingress_core)
+        egress_local = partition.owns(spec.egress_core)
+        if not ingress_local and not egress_local:
+            return
+        access_capacity = self.access_capacity_pps * spec.aggregate
+        if ingress_local:
+            ingress = self._make_edge(spec.ingress_edge)
+            self.topology.add_node(ingress)
+            self.edges[ingress.name] = ingress
+            self.topology.add_duplex_link(
+                spec.ingress_edge,
+                spec.ingress_core,
+                access_capacity,
+                self.prop_delay,
+                self._queue_factory,
+            )
+            self._attach_ingress(ingress, spec)
+        if egress_local:
+            egress = self._make_edge(spec.egress_edge)
+            self.topology.add_node(egress)
+            self.edges[egress.name] = egress
+            self.topology.add_duplex_link(
+                spec.egress_core,
+                spec.egress_edge,
+                access_capacity,
+                self.prop_delay,
+                self._queue_factory,
+            )
+            egress.expect_flow(spec.flow_id)
+        self.flows[spec.flow_id] = spec
+
     def add_flows(self, specs: Iterable[FlowPathSpec]) -> None:
         for spec in specs:
             self.add_flow(spec)
@@ -549,6 +650,13 @@ class Cloud:
     def finalize(self) -> None:
         """Compute routes, enable the scheme, and admit contracts."""
         if self._finalized:
+            return
+        if self.partition is not None:
+            # Routes, core-link enablement and admission run against the
+            # runtime's global shadow graph, so every partition installs
+            # the same forwarding decisions the serial build would.
+            self.partition.finalize_cloud(self)
+            self._finalized = True
             return
         if not self.flows:
             raise ConfigurationError("no flows added")
@@ -700,6 +808,81 @@ class Cloud:
 
     # -- running ----------------------------------------------------------
 
+    def _schedule_flow_traffic(self, fid: int, spec: FlowPathSpec, until: float) -> None:
+        """Schedule one flow's on/off transitions and source generators.
+
+        Factored out of :meth:`run` so a partitioned run can schedule
+        exactly the flows whose ingress it owns; the serial path calls it
+        in the same order with the same arguments, so event sequencing
+        (and therefore every replay) is unchanged.
+        """
+        ingress = self.edges[spec.ingress_edge]
+        # (source model, deposit callable, rng stream) per generator:
+        # one for a plain sourced flow, one per micro-flow when
+        # aggregated.
+        generators = []
+        if spec.micro_flows:
+            mux = self._attach_aggregate(ingress, spec)
+            generators.extend(
+                (
+                    source_spec.build(),
+                    lambda n, m=mux, mid=mid: m.deposit(mid, n),
+                    self.rng.stream(f"source:{fid}:{mid}"),
+                )
+                for mid, source_spec in spec.micro_flows
+            )
+        elif (
+            spec.aggregate > 1
+            and spec.source is not None
+            and not spec.source.is_backlogged
+        ):
+            # One generator process stands in for the whole bucket:
+            # a Poisson superposition at N x member rate (exactly N
+            # independent member processes, by the thinning theorem).
+            from repro.sim.sources import PacedAggregateSource
+
+            model = PacedAggregateSource(
+                tuple(range(1, spec.aggregate + 1)),
+                spec.source.mean_rate,
+                kind="poisson",
+            )
+            mux = self.strategy.attach_bucket(self, ingress, spec)
+            if mux is not None:
+                deposit = mux.deposit
+            else:
+                # No per-member accounting in this scheme: fold the
+                # member deposits into the bucket's shaper backlog.
+                def deposit(mid, n, edge=ingress, flow=fid):
+                    edge.deposit(flow, n)
+
+            generators.append(
+                (model, deposit, self.rng.stream(f"source:{fid}"))
+            )
+        elif spec.source is not None and not spec.source.is_backlogged:
+            generators.append(
+                (
+                    spec.source.build(),
+                    lambda n, edge=ingress, flow=fid: edge.deposit(flow, n),
+                    self.rng.stream(f"source:{fid}"),
+                )
+            )
+        tcp_sender = self.tcp_hosts.get(fid, (None, None))[0]
+        for start, stop in spec.schedule:
+            if start <= until:
+                self.sim.schedule_at(start, ingress.start_flow, fid)
+                for model, deposit, source_rng in generators:
+                    self.sim.schedule_at(
+                        start, model.start, self.sim, deposit, source_rng
+                    )
+                if tcp_sender is not None:
+                    self.sim.schedule_at(start, tcp_sender.start)
+            if math.isfinite(stop) and stop <= until:
+                self.sim.schedule_at(stop, ingress.stop_flow, fid)
+                for model, _deposit, _rng in generators:
+                    self.sim.schedule_at(stop, model.stop)
+                if tcp_sender is not None:
+                    self.sim.schedule_at(stop, tcp_sender.stop)
+
     def run(
         self,
         until: float,
@@ -718,76 +901,16 @@ class Cloud:
             raise ConfigurationError(
                 f"sample interval must be positive, got {sample_interval}"
             )
+        if self.partition is not None:
+            raise ConfigurationError(
+                "a partition sub-cloud cannot run standalone; drive it "
+                "through repro.experiments.pdes.ParallelCloud"
+            )
         self.finalize()
 
         records: Dict[int, FlowRecord] = {}
         for fid, spec in self.flows.items():
-            ingress = self.edges[spec.ingress_edge]
-            # (source model, deposit callable, rng stream) per generator:
-            # one for a plain sourced flow, one per micro-flow when
-            # aggregated.
-            generators = []
-            if spec.micro_flows:
-                mux = self._attach_aggregate(ingress, spec)
-                generators.extend(
-                    (
-                        source_spec.build(),
-                        lambda n, m=mux, mid=mid: m.deposit(mid, n),
-                        self.rng.stream(f"source:{fid}:{mid}"),
-                    )
-                    for mid, source_spec in spec.micro_flows
-                )
-            elif (
-                spec.aggregate > 1
-                and spec.source is not None
-                and not spec.source.is_backlogged
-            ):
-                # One generator process stands in for the whole bucket:
-                # a Poisson superposition at N x member rate (exactly N
-                # independent member processes, by the thinning theorem).
-                from repro.sim.sources import PacedAggregateSource
-
-                model = PacedAggregateSource(
-                    tuple(range(1, spec.aggregate + 1)),
-                    spec.source.mean_rate,
-                    kind="poisson",
-                )
-                mux = self.strategy.attach_bucket(self, ingress, spec)
-                if mux is not None:
-                    deposit = mux.deposit
-                else:
-                    # No per-member accounting in this scheme: fold the
-                    # member deposits into the bucket's shaper backlog.
-                    def deposit(mid, n, edge=ingress, flow=fid):
-                        edge.deposit(flow, n)
-
-                generators.append(
-                    (model, deposit, self.rng.stream(f"source:{fid}"))
-                )
-            elif spec.source is not None and not spec.source.is_backlogged:
-                generators.append(
-                    (
-                        spec.source.build(),
-                        lambda n, edge=ingress, flow=fid: edge.deposit(flow, n),
-                        self.rng.stream(f"source:{fid}"),
-                    )
-                )
-            tcp_sender = self.tcp_hosts.get(fid, (None, None))[0]
-            for start, stop in spec.schedule:
-                if start <= until:
-                    self.sim.schedule_at(start, ingress.start_flow, fid)
-                    for model, deposit, source_rng in generators:
-                        self.sim.schedule_at(
-                            start, model.start, self.sim, deposit, source_rng
-                        )
-                    if tcp_sender is not None:
-                        self.sim.schedule_at(start, tcp_sender.start)
-                if math.isfinite(stop) and stop <= until:
-                    self.sim.schedule_at(stop, ingress.stop_flow, fid)
-                    for model, _deposit, _rng in generators:
-                        self.sim.schedule_at(stop, model.stop)
-                    if tcp_sender is not None:
-                        self.sim.schedule_at(stop, tcp_sender.stop)
+            self._schedule_flow_traffic(fid, spec, until)
             records[fid] = FlowRecord(
                 flow_id=fid,
                 weight=spec.network_weight,
@@ -896,10 +1019,21 @@ class CloudBuilder:
         packet_pool: bool = False,
         calendar: bool = True,
         vectorized: bool = False,
+        partitions: int = 1,
+        partition_plan=None,
+        pdes_mode: str = "process",
     ) -> None:
         if scheme not in SCHEME_STRATEGIES:
             raise ConfigurationError(
                 f"unknown scheme {scheme!r}; pick one of {sorted(SCHEME_STRATEGIES)}"
+            )
+        if partitions < 1:
+            raise ConfigurationError(
+                f"partitions must be >= 1, got {partitions}"
+            )
+        if pdes_mode not in ("process", "inline"):
+            raise ConfigurationError(
+                f"unknown pdes_mode {pdes_mode!r}; pick 'process' or 'inline'"
             )
         self.spec = spec
         self.scheme = scheme
@@ -910,6 +1044,9 @@ class CloudBuilder:
         self.packet_pool = packet_pool
         self.calendar = calendar
         self.vectorized = vectorized
+        self.partitions = partitions
+        self.partition_plan = partition_plan
+        self.pdes_mode = pdes_mode
         self._flows: List[FlowPathSpec] = []
 
     def add_flow(self, spec: Union[FlowPathSpec, None] = None, **kwargs) -> "CloudBuilder":
@@ -933,6 +1070,11 @@ class CloudBuilder:
         default) finalize it — computing routes and running validation
         and admission, so spec errors surface here rather than at run
         time."""
+        if self.partitions > 1:
+            raise ConfigurationError(
+                "build() constructs a single serial cloud; with "
+                "partitions > 1 use build_parallel() or run()"
+            )
         strategy = SCHEME_STRATEGIES[self.scheme](self.config)
         cloud = Cloud(
             self.spec,
@@ -949,13 +1091,44 @@ class CloudBuilder:
             cloud.finalize()
         return cloud
 
+    def build_parallel(self):
+        """Construct the partitioned runtime for ``partitions > 1``.
+
+        Returns a :class:`repro.experiments.pdes.ParallelCloud` whose
+        :meth:`run` aggregates the per-partition results into one
+        :class:`RunResult` matching the serial shape.
+        """
+        from repro.experiments.pdes import ParallelCloud
+
+        return ParallelCloud(
+            self.spec,
+            self.scheme,
+            tuple(self._flows),
+            seed=self.seed,
+            config=self.config,
+            partitions=self.partitions,
+            plan=self.partition_plan,
+            mode=self.pdes_mode,
+            queue_factory=self.queue_factory,
+            control_loss_prob=self.control_loss_prob,
+            packet_pool=self.packet_pool,
+            calendar=self.calendar,
+            vectorized=self.vectorized,
+        )
+
     def run(
         self,
         until: float,
         sample_interval: float = 1.0,
         record_queues: bool = False,
     ) -> RunResult:
-        """Build and run in one step."""
+        """Build and run in one step (serial or partitioned)."""
+        if self.partitions > 1:
+            return self.build_parallel().run(
+                until=until,
+                sample_interval=sample_interval,
+                record_queues=record_queues,
+            )
         return self.build(finalize=False).run(
             until=until,
             sample_interval=sample_interval,

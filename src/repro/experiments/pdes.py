@@ -1,0 +1,826 @@
+"""Conservative parallel discrete-event execution of one cloud.
+
+A :class:`ParallelCloud` runs a :class:`~repro.experiments.topospec.TopologySpec`
+as N partition-local :class:`~repro.sim.engine.Simulator` instances
+advancing in lock-step windows under the classic conservative barrier
+protocol.  The conservative window is the minimum propagation delay over
+the *cut links* (see :class:`~repro.experiments.partition.PartitionPlan`):
+any event generated inside a window and addressed to another partition is
+in flight for at least one window, so after every partition has executed
+``(t, t + W]`` each cross-partition message carries a timestamp strictly
+beyond the barrier — no partition can ever receive an event from its past.
+
+The pieces, bottom to top:
+
+* :class:`~repro.sim.link.BoundaryLink` (layer 1) captures a transmitted
+  packet inside the sending window and hands ``(deliver_time, packet)``
+  to the partition runtime instead of scheduling a local arrival.
+* :class:`_PartitionWorker` (this module) owns one partition: its
+  sub-:class:`~repro.experiments.builder.Cloud`, the global
+  :class:`~repro.experiments.partition.ShadowGraph` it resolves routes
+  and control delays against, the outbox of cross-partition messages and
+  the per-flow measurement series for the slice of every flow it hosts
+  (rate at the ingress partition, throughput/losses at the egress one).
+* The session objects host the workers either inline (same process, for
+  exact-equivalence tests) or in spawned worker processes connected by
+  pipes (the performance configuration, reusing the spawn-safe module
+  top-level entry point pattern of :mod:`repro.experiments.parallel`).
+* :class:`ParallelCloud` is the coordinator: it partitions the spec,
+  drives the window barrier loop, routes outbox messages to the right
+  inbox sorted by ``(deliver_time, source partition, emission seq)`` so
+  injection order is deterministic, and merges the per-partition
+  fragments into one serial-shaped
+  :class:`~repro.experiments.runner.RunResult`.
+
+Equivalence with the serial build is by construction, not by sampling:
+every RNG stream is name-derived and consumed by exactly one component
+in exactly one partition, routing and control delays come from the
+shadow graph (identical floats to the serial topology queries), and
+boundary transmission uses the same queued-path timestamps as a local
+link.  The two-partition chain pins in ``tests/test_pdes.py`` assert
+bit-equal rate/throughput series against the serial run.
+
+v1 restrictions (each raises :class:`~repro.errors.ConfigurationError`):
+topology dynamics, TCP transport, lossy control planes, ``record_queues``
+and custom queue factories in process mode are not supported yet.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, RoutingError, SimulationError, TopologyError
+from repro.experiments.builder import SCHEME_STRATEGIES, Cloud
+from repro.experiments.partition import PartitionPlan, ShadowGraph
+from repro.experiments.runner import FlowRecord, RunResult
+from repro.experiments.topospec import FlowPathSpec, TopologySpec
+from repro.sim.control import ControlPlane
+from repro.sim.monitor import Series
+from repro.sim.node import Router
+from repro.sim.packet import Packet, PacketKind
+from repro.sim.routing import equal_cost_next_hops, reconstruct_path
+
+__all__ = ["ParallelCloud"]
+
+
+# -- cross-partition message payloads -----------------------------------------
+#
+# Packets are serialized field-by-field into plain tuples: cheap to
+# pickle, and reconstruction draws a fresh pid from the *destination*
+# simulator's counter (pids are allocation bookkeeping, never behavior —
+# queues order by arrival and the engine orders by its own sequence
+# numbers, so re-numbering cannot shift results).
+
+
+def _pack_packet(packet: Packet) -> Tuple:
+    return (
+        int(packet.kind),
+        packet.flow_id,
+        packet.size,
+        packet.seq,
+        packet.src,
+        packet.dst,
+        packet.origin_edge,
+        packet.label,
+        packet.feedback_from,
+        packet.created_at,
+        packet.ecn,
+        packet.micro_id,
+    )
+
+
+def _unpack_packet(state: Tuple, sim) -> Packet:
+    (
+        kind,
+        flow_id,
+        size,
+        seq,
+        src,
+        dst,
+        origin_edge,
+        label,
+        feedback_from,
+        created_at,
+        ecn,
+        micro_id,
+    ) = state
+    packet = Packet(
+        PacketKind(kind),
+        flow_id,
+        src,
+        dst,
+        size=size,
+        seq=seq,
+        origin_edge=origin_edge,
+        label=label,
+        created_at=created_at,
+        sim=sim,
+    )
+    packet.feedback_from = feedback_from
+    packet.ecn = ecn
+    packet.micro_id = micro_id
+    return packet
+
+
+class _ShadowControlPlane(ControlPlane):
+    """Control plane resolving path delays over the global shadow graph.
+
+    A partition's local topology cannot answer delay queries whose path
+    leaves the partition; the shadow graph answers every query — with
+    the same floats the serial ``Topology.path_delay`` produces, because
+    both sum the identical per-link delays along the identical shortest
+    path.  Local deliveries stay in-simulator exactly like the serial
+    control plane; remote ones never reach :meth:`send` (the strategy
+    closures hand them to the partition runtime instead).
+    """
+
+    def __init__(self, sim, topology, shadow: ShadowGraph) -> None:
+        super().__init__(sim, topology)
+        self._shadow = shadow
+
+    def delay(self, src: str, dst: str) -> float:
+        key = (src, dst)
+        delay = self._delay_cache.get(key)
+        if delay is None:
+            delay = self._shadow.path_delay(src, dst)
+            self._delay_cache[key] = delay
+        return delay
+
+
+class _PartitionWorker:
+    """One partition: its sub-cloud, shadow graph, outbox and metrics.
+
+    Constructed from a picklable payload dict so the process mode can
+    ship it to a spawned worker unchanged.  Implements the partition
+    protocol the :class:`~repro.experiments.builder.Cloud` build hooks
+    call into: ``owns`` / ``boundary_emit`` / ``make_control_plane`` /
+    ``send_control`` / ``finalize_cloud``.
+    """
+
+    def __init__(self, payload: Dict) -> None:
+        self.spec: TopologySpec = payload["spec"]
+        self.scheme: str = payload["scheme"]
+        self.flows: Tuple[FlowPathSpec, ...] = tuple(payload["flows"])
+        self.seed: int = payload["seed"]
+        self.config = payload["config"]
+        self.plan: PartitionPlan = payload["plan"]
+        self.index: int = payload["index"]
+        self.packet_pool: bool = payload["packet_pool"]
+        self.calendar: bool = payload["calendar"]
+        self.vectorized: bool = payload["vectorized"]
+        self.queue_factory = payload["queue_factory"]
+        self._local = frozenset(self.plan.cores_of(self.index))
+        self.cloud: Optional[Cloud] = None
+        self.shadow: Optional[ShadowGraph] = None
+        self.outbox: List[Tuple] = []
+        self._emit_seq = 0
+        self._records: Dict[int, Dict] = {}
+        self._sampler = None
+
+    # -- construction ----------------------------------------------------
+
+    def prepare(self) -> None:
+        """Build the shadow graph, then the partition's sub-cloud."""
+        self.shadow = ShadowGraph(self.spec, self.flows)
+        strategy = SCHEME_STRATEGIES[self.scheme](self.config)
+        self.cloud = Cloud(
+            self.spec,
+            strategy,
+            seed=self.seed,
+            queue_factory=self.queue_factory,
+            packet_pool=self.packet_pool,
+            calendar=self.calendar,
+            vectorized=self.vectorized,
+            partition=self,
+        )
+        self.cloud.add_flows(self.flows)
+        self.cloud.finalize()
+
+    # -- partition protocol (called by the Cloud build) -------------------
+
+    def owns(self, core: str) -> bool:
+        return core in self._local
+
+    def boundary_emit(self, dst_name: str) -> Callable[[float, Packet], None]:
+        def emit(deliver_time: float, packet: Packet) -> None:
+            self._emit_seq += 1
+            self.outbox.append(
+                ("pkt", deliver_time, self._emit_seq, dst_name, _pack_packet(packet))
+            )
+
+        return emit
+
+    def make_control_plane(self, cloud: Cloud) -> ControlPlane:
+        return _ShadowControlPlane(cloud.sim, cloud.topology, self.shadow)
+
+    def send_control(self, src: str, dst_edge: str, kind: str, packet: Packet) -> None:
+        """Queue a control packet whose destination edge is remote.
+
+        The delivery time is now plus the reverse-path propagation delay
+        over the shadow graph — the exact delay the serial control plane
+        charges.  The path crosses at least one cut link, so the delay is
+        at least one window and the message lands beyond the barrier.
+        """
+        deliver = self.cloud.sim.now + self.shadow.path_delay(src, dst_edge)
+        self._emit_seq += 1
+        self.outbox.append(
+            ("ctl", deliver, self._emit_seq, dst_edge, kind, _pack_packet(packet))
+        )
+
+    def finalize_cloud(self, cloud: Cloud) -> None:
+        """Routes, scheme enablement and admission over the shadow graph.
+
+        Mirrors the serial :meth:`Cloud.finalize` step for step, but
+        every path query runs against the global shadow graph: all
+        partitions therefore install the same forwarding decisions, and
+        admission accepts or rejects identically everywhere.
+        """
+        shadow = self.shadow
+        for spec in self.flows:
+            try:  # noqa: PERF203 -- cold path; the per-flow error context is the point
+                shadow.path_link_names(spec.ingress_edge, spec.egress_edge)
+            except RoutingError as exc:
+                raise TopologyError(
+                    f"flow {spec.flow_id}: no route from ingress_core "
+                    f"{spec.ingress_core!r} to egress_core "
+                    f"{spec.egress_core!r} in topology {self.spec.name!r} "
+                    f"({exc})"
+                ) from exc
+        destinations: List[str] = []
+        for spec in self.flows:
+            destinations.append(spec.ingress_edge)
+            destinations.append(spec.egress_edge)
+        self._install_shadow_routes(cloud, destinations)
+        cloud._enable_core_links()
+        self._admit_contracts()
+
+    def _install_shadow_routes(self, cloud: Cloud, destinations: List[str]) -> None:
+        """Fill every local router's table from global shortest paths.
+
+        The first hop out of a local router is always a local link object
+        (an intra-partition link or the local half of a cut link), so the
+        shadow path's leading link name resolves in the local topology.
+        """
+        spec = self.spec
+        shadow = self.shadow
+        tables: Dict[str, Dict[str, object]] = {}
+        try:
+            for src_name, node in cloud.topology.nodes.items():
+                if not isinstance(node, Router):
+                    continue
+                _dist, prev = shadow.shortest_from(src_name)
+                routes: Dict[str, object] = {}
+                for dst_name in destinations:
+                    if dst_name == src_name:
+                        continue
+                    path = reconstruct_path(prev, src_name, dst_name)
+                    routes[dst_name] = cloud.topology.links[path[0]]
+                tables[src_name] = routes
+        except RoutingError as exc:
+            raise TopologyError(
+                f"topology {spec.name!r} is disconnected: {exc}"
+            ) from exc
+        if spec.routing_mode == "static":
+            for src_name, routes in tables.items():
+                cloud.topology.nodes[src_name].install_routes(routes)
+            return
+        adjacency = shadow.adjacency
+        dist_maps = {name: shadow.shortest_from(name)[0] for name in adjacency}
+        flowlet = (
+            spec.ecmp_flowlet_n_packets if spec.routing_mode == "ecmp_flowlet" else 0
+        )
+        for src_name, routes in tables.items():
+            ecmp: Dict[str, Tuple] = {}
+            for dst_name in routes:
+                hops = equal_cost_next_hops(adjacency, src_name, dst_name, dist_maps)
+                if len(hops) >= 2:
+                    ecmp[dst_name] = tuple(
+                        cloud.topology.links[link_name]
+                        for _neighbor, link_name in hops
+                    )
+            cloud.topology.nodes[src_name].install_multipath_routes(
+                routes, ecmp, flowlet
+            )
+
+    def _admit_contracts(self) -> None:
+        contracted = [spec for spec in self.flows if spec.min_rate > 0]
+        if not contracted:
+            return
+        from repro.core.admission import AdmissionController
+
+        admission = AdmissionController(dict(self.shadow.capacities))
+        for spec in contracted:
+            path = self.shadow.path_link_names(spec.ingress_edge, spec.egress_edge)
+            if not admission.request(spec.flow_id, path, spec.network_min_rate):
+                raise ConfigurationError(
+                    f"flow {spec.flow_id}: contract of {spec.network_min_rate} "
+                    f"pkt/s rejected by admission control (insufficient "
+                    f"headroom along {path})"
+                )
+
+    # -- window execution -------------------------------------------------
+
+    def schedule(self, until: float, sample_interval: float) -> None:
+        """Schedule local flow traffic and start the per-flow samplers.
+
+        A flow's generators run where its ingress lives; its rate series
+        is sampled there, its throughput/cumulative series at the egress
+        partition.  Sampling instants match the serial run (every
+        ``sample_interval`` from time 0), so merged series line up
+        sample-for-sample with their serial counterparts.
+        """
+        cloud = self.cloud
+        for spec in self.flows:
+            fid = spec.flow_id
+            ingress_local = self.owns(spec.ingress_core)
+            egress_local = self.owns(spec.egress_core)
+            if not ingress_local and not egress_local:
+                continue
+            entry: Dict[str, object] = {"spec": spec}
+            if ingress_local:
+                cloud._schedule_flow_traffic(fid, spec, until)
+                entry["rate"] = Series(f"rate:{fid}")
+            if egress_local:
+                entry["tput"] = Series(f"tput:{fid}")
+                entry["cum"] = Series(f"cum:{fid}")
+            self._records[fid] = entry
+
+        def sample() -> None:
+            now = cloud.sim.now
+            for fid, entry in self._records.items():
+                spec = entry["spec"]
+                rate_series = entry.get("rate")
+                if rate_series is not None:
+                    ingress = cloud.edges[spec.ingress_edge]
+                    rate = (
+                        ingress.allotted_rate(fid)
+                        if ingress.flow_active(fid)
+                        else 0.0
+                    )
+                    rate_series.append(now, rate)
+                tput_series = entry.get("tput")
+                if tput_series is not None:
+                    egress = cloud.edges[spec.egress_edge]
+                    tput_series.append(now, egress.take_throughput(fid))
+                    entry["cum"].append(now, float(egress.delivered(fid)))
+
+        self._sampler = cloud.sim.every(sample_interval, sample)
+
+    def inject(self, messages: Sequence[Tuple]) -> None:
+        """Ingest one window's cross-partition messages (pre-sorted by
+        the coordinator; injection order fixes engine tie-breaking)."""
+        sim = self.cloud.sim
+        for message in messages:
+            if message[0] == "pkt":
+                _tag, time, dst_name, state = message
+                node = self.cloud.topology.nodes[dst_name]
+                sim.inject(time, node.receive, _unpack_packet(state, sim), None)
+            else:
+                _tag, time, dst_edge, kind, state = message
+                edge = self.cloud.edges[dst_edge]
+                deliver = (
+                    edge.receive_feedback
+                    if kind == "feedback"
+                    else edge.receive_loss_notify
+                )
+                sim.inject(
+                    time, self._deliver_control, deliver, _unpack_packet(state, sim)
+                )
+
+    def _deliver_control(self, deliver: Callable[[Packet], None], packet: Packet) -> None:
+        # Injected control packets count as delivered exactly like the
+        # serial control plane counts its local deliveries.
+        self.cloud.control.delivered += 1
+        deliver(packet)
+
+    def run_window(self, until: float) -> None:
+        self.cloud.sim.run_window(until)
+
+    def take_outbox(self) -> List[Tuple]:
+        outbox = self.outbox
+        self.outbox = []
+        return outbox
+
+    def fragment(self) -> Dict:
+        """This partition's share of the run result (picklable)."""
+        if self._sampler is not None:
+            self._sampler.stop()
+            self._sampler = None
+        cloud = self.cloud
+        flows: Dict[int, Dict] = {}
+        for fid, entry in self._records.items():
+            spec = entry["spec"]
+            out: Dict[str, object] = {}
+            rate_series = entry.get("rate")
+            if rate_series is not None:
+                out["rate"] = (list(rate_series.times), list(rate_series.values))
+                out["has_mux"] = fid in cloud._muxes
+            tput_series = entry.get("tput")
+            if tput_series is not None:
+                egress = cloud.edges[spec.egress_edge]
+                out["tput"] = (list(tput_series.times), list(tput_series.values))
+                cum = entry["cum"]
+                out["cum"] = (list(cum.times), list(cum.values))
+                out["delivered"] = egress.delivered(fid)
+                out["losses"] = egress.losses(fid)
+                out["delay"] = egress.delay_stats(fid).summary()
+                by_micro = getattr(egress, "delivered_by_micro", None)
+                if by_micro is not None:
+                    out["micro"] = by_micro(fid)
+            flows[fid] = out
+        return {
+            "drops": cloud.topology.total_drops(),
+            "events": cloud.sim.events_executed,
+            "flows": flows,
+        }
+
+
+# -- worker hosting -----------------------------------------------------------
+
+
+class _InlineSession:
+    """All partitions in this process — the exact-equivalence harness."""
+
+    def __init__(self, payloads: Sequence[Dict]) -> None:
+        self.workers = [_PartitionWorker(payload) for payload in payloads]
+        for worker in self.workers:
+            worker.prepare()
+
+    def schedule(self, until: float, sample_interval: float) -> None:
+        for worker in self.workers:
+            worker.schedule(until, sample_interval)
+
+    def step(
+        self, t_next: float, inboxes: Sequence[Sequence[Tuple]]
+    ) -> List[List[Tuple]]:
+        outboxes = []
+        for worker, inbox in zip(self.workers, inboxes):
+            worker.inject(inbox)
+            worker.run_window(t_next)
+            outboxes.append(worker.take_outbox())
+        return outboxes
+
+    def finish(self) -> List[Dict]:
+        return [worker.fragment() for worker in self.workers]
+
+    def close(self) -> None:
+        return None
+
+
+def _pdes_worker_main(conn, payload: Dict) -> None:
+    """Spawned-process entry point hosting one partition worker.
+
+    Module top-level so the spawn start method can pickle it (same
+    constraint as the :mod:`repro.experiments.parallel` pool workers).
+    Replies ``("error", traceback)`` on any failure; the coordinator
+    re-raises with the worker's traceback text.
+    """
+    try:
+        worker = _PartitionWorker(payload)
+        worker.prepare()
+        conn.send(("ready", None))
+        while True:
+            tag, body = conn.recv()
+            if tag == "schedule":
+                worker.schedule(*body)
+                conn.send(("scheduled", None))
+            elif tag == "window":
+                t_next, inbox = body
+                worker.inject(inbox)
+                worker.run_window(t_next)
+                conn.send(("outbox", worker.take_outbox()))
+            elif tag == "finish":
+                conn.send(("fragment", worker.fragment()))
+                return
+            else:
+                raise SimulationError(f"unknown pdes command {tag!r}")
+    except Exception:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:  # pragma: no cover - parent already gone
+            pass
+    finally:
+        conn.close()
+
+
+class _ProcessSession:
+    """One spawned process per partition, pipe-connected.
+
+    Window commands are sent to every worker before any reply is read,
+    so partitions execute their windows concurrently — that concurrency
+    is the entire speedup.
+    """
+
+    def __init__(self, payloads: Sequence[Dict]) -> None:
+        ctx = multiprocessing.get_context("spawn")
+        self._conns = []
+        self._procs = []
+        try:
+            for payload in payloads:
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_pdes_worker_main,
+                    args=(child_conn, payload),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+            for conn in self._conns:
+                self._expect(conn, "ready")
+        except BaseException:
+            self.close()
+            raise
+
+    @staticmethod
+    def _expect(conn, tag: str):
+        message = conn.recv()
+        if message[0] == "error":
+            raise SimulationError(
+                f"pdes partition worker failed:\n{message[1]}"
+            )
+        if message[0] != tag:
+            raise SimulationError(
+                f"pdes protocol error: expected {tag!r}, got {message[0]!r}"
+            )
+        return message[1]
+
+    def schedule(self, until: float, sample_interval: float) -> None:
+        for conn in self._conns:
+            conn.send(("schedule", (until, sample_interval)))
+        for conn in self._conns:
+            self._expect(conn, "scheduled")
+
+    def step(
+        self, t_next: float, inboxes: Sequence[Sequence[Tuple]]
+    ) -> List[List[Tuple]]:
+        for conn, inbox in zip(self._conns, inboxes):
+            conn.send(("window", (t_next, list(inbox))))
+        return [self._expect(conn, "outbox") for conn in self._conns]
+
+    def finish(self) -> List[Dict]:
+        for conn in self._conns:
+            conn.send(("finish", None))
+        return [self._expect(conn, "fragment") for conn in self._conns]
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=5.0)
+
+
+class ParallelCloud:
+    """Coordinator of one partitioned cloud run.
+
+    Build through :meth:`CloudBuilder.build_parallel
+    <repro.experiments.builder.CloudBuilder.build_parallel>` (or
+    directly); :meth:`run` produces a :class:`RunResult` with the same
+    shape and fields a serial :meth:`Cloud.run` returns.  For benchmark
+    timing, :meth:`start` (worker spawn + topology build, untimed setup)
+    and :meth:`execute` (scheduling, the window barrier loop and the
+    merge) are exposed separately.
+    """
+
+    def __init__(
+        self,
+        spec: TopologySpec,
+        scheme: str,
+        flows: Sequence[FlowPathSpec],
+        *,
+        seed: int = 0,
+        config=None,
+        partitions: int = 2,
+        plan: Optional[PartitionPlan] = None,
+        mode: str = "process",
+        queue_factory=None,
+        control_loss_prob: float = 0.0,
+        packet_pool: bool = False,
+        calendar: bool = True,
+        vectorized: bool = False,
+    ) -> None:
+        if scheme not in SCHEME_STRATEGIES:
+            raise ConfigurationError(
+                f"unknown scheme {scheme!r}; pick one of {sorted(SCHEME_STRATEGIES)}"
+            )
+        if mode not in ("process", "inline"):
+            raise ConfigurationError(
+                f"unknown pdes mode {mode!r}; pick 'process' or 'inline'"
+            )
+        if spec.events:
+            raise ConfigurationError(
+                "partitioned runs do not support topology dynamics yet "
+                "(coordinated cross-partition reroutes are future work)"
+            )
+        if control_loss_prob > 0:
+            raise ConfigurationError(
+                "partitioned clouds do not support control_loss_prob "
+                "(the lossy control plane draws from one shared stream)"
+            )
+        if not flows:
+            raise ConfigurationError("no flows added")
+        seen_ids = set()
+        for flow in flows:
+            if flow.flow_id in seen_ids:
+                raise ConfigurationError(f"duplicate flow id {flow.flow_id}")
+            seen_ids.add(flow.flow_id)
+            if flow.transport == "tcp":
+                raise ConfigurationError(
+                    f"flow {flow.flow_id}: TCP transport is not supported in "
+                    "partitioned clouds (host attachment spans partitions)"
+                )
+        if queue_factory is not None and mode == "process":
+            raise ConfigurationError(
+                "custom queue factories are not supported in process mode "
+                "(the factory callable cannot be shipped to spawned "
+                "workers); use pdes_mode='inline'"
+            )
+        if plan is None:
+            plan = spec.partition_plan(partitions)
+        else:
+            plan.validate_for(spec)
+            if plan.num_partitions != partitions:
+                raise ConfigurationError(
+                    f"partition plan has {plan.num_partitions} partitions "
+                    f"but the builder asked for {partitions}"
+                )
+        self.spec = spec
+        self.scheme = scheme
+        self.flows = tuple(flows)
+        self.seed = seed
+        self.config = config
+        self.plan = plan
+        self.mode = mode
+        self.queue_factory = queue_factory
+        self.packet_pool = packet_pool
+        self.calendar = calendar
+        self.vectorized = vectorized
+        #: Conservative window: min cut-link propagation delay (``inf``
+        #: when no link crosses the cut — one barrier spans the run).
+        self.window = plan.window(spec)
+        # Destination name -> owning partition, for outbox routing.  Cut
+        # links are always core-core (access links follow their core), so
+        # packet messages target cores; control messages target edges.
+        self._partition_of: Dict[str, int] = {}
+        for core, part in plan.assignments:
+            self._partition_of[core] = part
+        for flow in self.flows:
+            self._partition_of[flow.ingress_edge] = plan.partition_of(
+                flow.ingress_core
+            )
+            self._partition_of[flow.egress_edge] = plan.partition_of(
+                flow.egress_core
+            )
+
+    # -- lifecycle --------------------------------------------------------
+
+    def _payloads(self) -> List[Dict]:
+        return [
+            {
+                "spec": self.spec,
+                "scheme": self.scheme,
+                "flows": self.flows,
+                "seed": self.seed,
+                "config": self.config,
+                "plan": self.plan,
+                "index": index,
+                "packet_pool": self.packet_pool,
+                "calendar": self.calendar,
+                "vectorized": self.vectorized,
+                "queue_factory": self.queue_factory,
+            }
+            for index in range(self.plan.num_partitions)
+        ]
+
+    def start(self):
+        """Spawn/build every partition worker (the untimed setup phase)."""
+        if self.mode == "inline":
+            return _InlineSession(self._payloads())
+        return _ProcessSession(self._payloads())
+
+    def execute(
+        self, session, until: float, sample_interval: float = 1.0
+    ) -> RunResult:
+        """Drive the window barrier loop on a started session and merge."""
+        if until <= 0:
+            raise ConfigurationError(f"run duration must be positive, got {until}")
+        if sample_interval <= 0:
+            raise ConfigurationError(
+                f"sample interval must be positive, got {sample_interval}"
+            )
+        num = self.plan.num_partitions
+        session.schedule(until, sample_interval)
+        pending: List[List[Tuple]] = [[] for _ in range(num)]
+        now = 0.0
+        while now < until:
+            t_next = min(until, now + self.window)
+            inboxes = []
+            for queued in pending:
+                queued.sort()
+                inboxes.append([message for _key, message in queued])
+            outboxes = session.step(t_next, inboxes)
+            pending = [[] for _ in range(num)]
+            for src_index, outbox in enumerate(outboxes):
+                for entry in outbox:
+                    if entry[0] == "pkt":
+                        _tag, deliver, seq, dst_name, state = entry
+                        message = ("pkt", deliver, dst_name, state)
+                    else:
+                        _tag, deliver, seq, dst_name, kind, state = entry
+                        message = ("ctl", deliver, dst_name, kind, state)
+                    # Sort key fixes injection order across modes and
+                    # runs: time, then source partition, then emission
+                    # order within it.
+                    pending[self._partition_of[dst_name]].append(
+                        ((deliver, src_index, seq), message)
+                    )
+            now = t_next
+        for queued in pending:
+            for (deliver, _src, _seq), _message in queued:
+                if deliver <= until:  # pragma: no cover - protocol invariant
+                    raise SimulationError(
+                        f"pdes window protocol violated: message for "
+                        f"t={deliver} left undelivered at horizon {until}"
+                    )
+        fragments = session.finish()
+        return self._merge(fragments, until)
+
+    def run(
+        self,
+        until: float,
+        sample_interval: float = 1.0,
+        record_queues: bool = False,
+    ) -> RunResult:
+        """Start, execute and merge in one step (the serial-shaped API)."""
+        if record_queues:
+            raise ConfigurationError(
+                "partitioned runs do not support record_queues (per-link "
+                "queue series live in worker processes); run serially to "
+                "record queue occupancy"
+            )
+        session = self.start()
+        try:
+            return self.execute(session, until, sample_interval)
+        finally:
+            session.close()
+
+    # -- merging ----------------------------------------------------------
+
+    @staticmethod
+    def _series(name: str, payload: Tuple[List[float], List[float]]) -> Series:
+        series = Series(name)
+        times, values = payload
+        for time, value in zip(times, values):
+            series.append(time, value)
+        return series
+
+    def _merge(self, fragments: List[Dict], until: float) -> RunResult:
+        """Assemble per-partition fragments into one serial-shaped result.
+
+        Rate series come from each flow's ingress partition, delivery
+        accounting from its egress partition, and paths/capacities from
+        the coordinator's own shadow graph (identical to every worker's).
+        """
+        shadow = ShadowGraph(self.spec, self.flows)
+        records: Dict[int, FlowRecord] = {}
+        for spec in self.flows:
+            fid = spec.flow_id
+            ingress_frag = fragments[self.plan.partition_of(spec.ingress_core)]
+            egress_frag = fragments[self.plan.partition_of(spec.egress_core)]
+            ingress = ingress_frag["flows"][fid]
+            egress = egress_frag["flows"][fid]
+            record = FlowRecord(
+                flow_id=fid,
+                weight=spec.network_weight,
+                schedule=spec.schedule,
+                path_links=shadow.path_link_names(
+                    spec.ingress_edge, spec.egress_edge
+                ),
+                rate_series=self._series(f"rate:{fid}", ingress["rate"]),
+                throughput_series=self._series(f"tput:{fid}", egress["tput"]),
+                cumulative_series=self._series(f"cum:{fid}", egress["cum"]),
+                demand=spec.demand(),
+            )
+            record.delivered = egress["delivered"]
+            record.losses = egress["losses"]
+            record.delay = egress["delay"]
+            if ingress.get("has_mux") and "micro" in egress:
+                record.micro_delivered = egress["micro"]
+            records[fid] = record
+        return RunResult(
+            scheme=self.scheme,
+            duration=until,
+            capacities=dict(shadow.capacities),
+            flows=records,
+            total_drops=sum(fragment["drops"] for fragment in fragments),
+            seed=self.seed,
+        )

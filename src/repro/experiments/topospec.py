@@ -574,6 +574,26 @@ class TopologySpec:
                 f"{self.name!r} (cores: {sorted(self.cores)})"
             )
 
+    def partition_plan(
+        self, num_partitions: int, assignments: Optional[Dict[str, int]] = None
+    ):
+        """A :class:`~repro.experiments.partition.PartitionPlan` for this
+        topology: automatic (delay-clustered, balanced) by default, or
+        pinned by an explicit ``{core: partition}`` mapping — the manual
+        override used by tests and hand-tuned layouts."""
+        from repro.experiments.partition import PartitionPlan, auto_partition
+
+        if assignments is not None:
+            plan = PartitionPlan.from_mapping(assignments)
+            if plan.num_partitions != num_partitions:
+                raise TopologyError(
+                    f"topology {self.name!r}: explicit assignments use "
+                    f"{plan.num_partitions} partitions, expected {num_partitions}"
+                )
+            plan.validate_for(self)
+            return plan
+        return auto_partition(self, num_partitions)
+
 
 #: Canned topology kinds accepted by ``TopologySpec.from_dict``.
 CANNED_TOPOLOGIES = {

@@ -334,6 +334,93 @@ def _bench_flow_scaling(
     return delivered, elapsed
 
 
+def _pdes_scaling_builder(flows: int, partitions: int):
+    """An 8-core chain workload built to partition evenly.
+
+    Four two-core groups each carry a quarter of the local flows
+    (``C1->C2``, ``C3->C4``, ``C5->C6``, ``C7->C8``), plus ``flows/16``
+    cross flows spanning ``C1->C8`` so every cut carries real traffic and
+    cross-partition feedback.  The automatic partitioner splits the chain
+    into equal halves (or the four pairs) with all cut links at the
+    chain's uniform propagation delay, so the conservative window equals
+    one link delay and per-partition load is balanced — the configuration
+    the parallel speedup target is measured in.
+    """
+    from repro.experiments.builder import CloudBuilder
+    from repro.experiments.topospec import FlowPathSpec, TopologySpec
+
+    if flows % 16:
+        raise ConfigurationError(
+            f"pdes scaling bench needs a multiple of 16 flows, got {flows}"
+        )
+    spec = TopologySpec.chain(
+        8, capacity_pps=8.0 * (flows // 4), name=f"pdes-scaling-{flows}"
+    )
+    builder = CloudBuilder(
+        spec, scheme="corelite", seed=0, partitions=partitions
+    )
+    cross = flows // 16
+    fid = 0
+    for index in range(flows - cross):
+        fid += 1
+        group = index % 4
+        builder.add_flow(
+            FlowPathSpec(
+                fid,
+                weight=1.0 + (fid % 4),
+                ingress_core=f"C{2 * group + 1}",
+                egress_core=f"C{2 * group + 2}",
+            )
+        )
+    for _ in range(cross):
+        fid += 1
+        builder.add_flow(
+            FlowPathSpec(
+                fid, weight=1.0 + (fid % 4), ingress_core="C1", egress_core="C8"
+            )
+        )
+    return builder
+
+
+def _bench_flow_scaling_pdes(
+    scale: float, flows: int = 1024, partitions: int = 1
+) -> Tuple[int, float]:
+    """The flow_scaling family's parallel rung: same workload, N workers.
+
+    ``partitions=1`` is the serial baseline over the identical 8-core
+    workload; ``partitions>1`` runs it as a conservative-window PDES in
+    spawned worker processes.  Timing covers scheduling, the window
+    barrier loop and the result merge — worker spawn and topology build
+    are excluded, matching the serial rungs (whose build is excluded
+    too).  The unit stays *delivered data packets*, and the horizon is
+    fixed for the same reason as :func:`_bench_flow_scaling`.
+    """
+    del scale  # fixed horizon; see _bench_flow_scaling
+    horizon = 16.0
+    builder = _pdes_scaling_builder(flows, partitions)
+    if partitions == 1:
+        cloud = builder.build()
+        started = time.perf_counter()
+        result = cloud.run(until=horizon, sample_interval=1.0)
+        elapsed = time.perf_counter() - started
+    else:
+        parallel = builder.build_parallel()
+        session = parallel.start()
+        try:
+            started = time.perf_counter()
+            result = parallel.execute(session, horizon, sample_interval=1.0)
+            elapsed = time.perf_counter() - started
+        finally:
+            session.close()
+    delivered = sum(record.delivered for record in result.flows.values())
+    if delivered <= 0:
+        raise ConfigurationError(
+            f"pdes flow_scaling bench ({flows} flows, {partitions} "
+            "partitions) delivered nothing"
+        )
+    return delivered, elapsed
+
+
 #: name -> (bench callable taking a size scale, work unit name).
 BENCHES: Dict[str, Tuple[Callable[[float], Tuple[int, float]], str]] = {
     "event_loop": (_bench_event_loop, "events"),
@@ -404,6 +491,27 @@ for _scheme, _flows, _agg in FLOW_SCALING_VEC_POINTS:
         ),
         "packets",
     )
+#: Conservative-PDES rungs: (flows, partitions).  ``partitions=1`` is
+#: the serial baseline on the identical 8-core workload; the w2/w4 rungs
+#: are the 2- and 4-worker configurations the >=1.7x speedup acceptance
+#: is measured against.  Registered before the scalar 4096 rungs so the
+#: spawned workers never inherit those arenas in their parent snapshot.
+FLOW_SCALING_PDES_POINTS: Tuple[Tuple[int, int], ...] = (
+    (1024, 1),
+    (1024, 2),
+    (1024, 4),
+)
+
+for _flows, _parts in FLOW_SCALING_PDES_POINTS:
+    _suffix = "serial" if _parts == 1 else f"w{_parts}"
+    BENCHES[f"flow_scaling_corelite_{_flows}_pdes_{_suffix}"] = (
+        functools.partial(
+            _bench_flow_scaling_pdes, flows=_flows, partitions=_parts
+        ),
+        "packets",
+    )
+del _flows, _parts, _suffix
+
 for _scheme, _flows in FLOW_SCALING_POINTS:
     if _flows >= 4096:
         BENCHES[f"flow_scaling_{_scheme}_{_flows}"] = (
@@ -433,6 +541,9 @@ BENCH_REPEAT_CAPS: Dict[str, int] = {
     "flow_scaling_csfq_4096": 1,
     "flow_scaling_corelite_16384": 2,
     "flow_scaling_csfq_16384": 2,
+    "flow_scaling_corelite_1024_pdes_serial": 2,
+    "flow_scaling_corelite_1024_pdes_w2": 2,
+    "flow_scaling_corelite_1024_pdes_w4": 2,
 }
 
 #: Benches too heavy for quick (CI smoke) mode.  ``flow_scaling_corelite_16384``
@@ -442,6 +553,10 @@ QUICK_SKIP_BENCHES = frozenset(
         "flow_scaling_corelite_4096",
         "flow_scaling_csfq_4096",
         "flow_scaling_csfq_16384",
+        # The w4 rung stays as the quick-mode PDES smoke; its serial
+        # baseline and the w2 rung only matter for full speedup reports.
+        "flow_scaling_corelite_1024_pdes_serial",
+        "flow_scaling_corelite_1024_pdes_w2",
     }
 )
 

@@ -558,6 +558,44 @@ class Simulator:
             self.events_executed += executed
             self._running = False
 
+    def run_window(self, until: float) -> None:
+        """Execute one bounded window ``[now, until]`` of events.
+
+        The conservative-PDES entry point: a partitioned cloud advances
+        each partition's simulator window by window, exchanging
+        cross-partition messages at the barriers.  Semantically this is
+        exactly :meth:`run` with ``until`` set — events at ``until`` run,
+        the clock lands on ``until`` even when idle — but the window
+        bound is mandatory and must not lie in the past, so a driver bug
+        cannot silently drain a partition to the end of time.
+        """
+        if until < self.now:
+            raise SimulationError(
+                f"cannot run a window into the past (until={until} < now={self.now})"
+            )
+        self.run(until=until)
+
+    def inject(self, time: float, fn: Callable[..., None], *args: Any) -> None:
+        """Ingest an externally-generated event at absolute ``time``.
+
+        Cross-partition deliveries enter through here at window barriers.
+        Injection is only legal between :meth:`run_window` calls (never
+        from inside a running callback — external events must not appear
+        mid-window behind the dispatch cursor) and never into the past.
+        The event joins the shared ``(time, seq)`` order exactly like a
+        locally scheduled one, so the calendar tier and same-time
+        tie-breaking keep working unchanged.
+        """
+        if self._running:
+            raise SimulationError(
+                "inject() is only legal between windows, not from inside run()"
+            )
+        if time < self.now:
+            raise SimulationError(
+                f"cannot inject into the past (t={time} < now={self.now})"
+            )
+        self._push(time, None, fn, args)
+
     def step(self) -> bool:
         """Execute exactly one (non-cancelled) event.
 

@@ -41,12 +41,12 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.sim.engine import Simulator
 from repro.sim.packet import Packet
 from repro.sim.queues import FifoQueue
 
-__all__ = ["Link"]
+__all__ = ["Link", "BoundaryLink"]
 
 DropListener = Callable[[Packet, float], None]
 
@@ -407,3 +407,106 @@ class Link:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Link({self.name}, {self.bandwidth_pps:.0f} pps, {self.prop_delay * 1e3:.0f} ms)"
+
+
+class _RemotePort:
+    """Stand-in destination for a link whose far end lives in another
+    partition.  Only the name is real; a local ``receive`` is a bug —
+    boundary deliveries travel as cross-partition messages instead."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def receive(self, packet: Packet, link) -> None:
+        raise SimulationError(
+            f"boundary destination {self.name!r} cannot receive locally; "
+            "the packet should have been emitted as a cross-partition message"
+        )
+
+
+class BoundaryLink(Link):
+    """The cut-crossing flavor of :class:`Link` for partitioned clouds.
+
+    Queueing, serialization and stats are the plain link's; the far end
+    is remote, so instead of scheduling a local delivery event the link
+    *emits* ``(deliver_time, packet)`` into the partition's outbox at
+    transmit start.  That timing is the whole trick: the emission happens
+    while the packet's send still lies inside the current window, and its
+    delivery time — ``free_at + prop`` for data, ``start + prop`` for
+    markers — is at least one window (the minimum cut propagation delay)
+    in the future, so the receiving partition can ingest it at the next
+    barrier without ever seeing an event in its past.
+
+    The queue-skip bypass stays off (``send`` is the bypass-free queued
+    path): the bypass schedules the delivery event directly, which has no
+    capture point.  The queued path produces identical timestamps, stats
+    and drops — only the local event count differs.
+
+    ``delivered_data``/``delivered_control`` count at *emission* rather
+    than delivery, so the final in-flight window may count a packet the
+    horizon then cuts off; both counters are informational only.
+    """
+
+    __slots__ = ("_emit",)
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        src_name: str,
+        dst_name: str,
+        bandwidth_pps: float,
+        prop_delay: float,
+        queue: FifoQueue,
+        emit: Callable[[float, Packet], None],
+    ) -> None:
+        super().__init__(
+            sim, name, src_name, _RemotePort(dst_name),
+            bandwidth_pps, prop_delay, queue,
+        )
+        if prop_delay <= 0.0:
+            raise ConfigurationError(
+                f"boundary link {name!r} needs a positive propagation delay "
+                "(the conservative window has no lookahead without one)"
+            )
+        self._emit = emit
+        # Force the bypass-free path: messages are captured in the pop
+        # loop, and the plain-FIFO shortcuts would skip it.  This also
+        # keeps Corelite's epoch parking off this link (parking is gated
+        # on ``_plain_fifo``), which is results-invariant by design.
+        self._plain_fifo = False
+        self._send_base = self._send_queued
+        self.send = self._send_base
+
+    def add_delivery_tap(self, tap) -> None:
+        raise ConfigurationError(
+            f"boundary link {self.name!r} delivers in another partition; "
+            "delivery taps cannot observe it"
+        )
+
+    def _transmit_from(self, start: float) -> None:
+        """Pop and serialize as the base link does, emitting instead of
+        scheduling delivery (timestamps match the serial link exactly)."""
+        queue = self.queue
+        emit = self._emit
+        prop = self.prop_delay
+        while True:
+            packet = queue.pop(start)
+            if packet is None:
+                return
+            tx = packet.size / self.bandwidth_pps
+            if tx == 0.0:
+                self.delivered_control += 1
+                emit(start + prop, packet)
+                continue
+            self.busy_time += tx
+            free_at = start + tx
+            self._free_at = free_at
+            if len(queue) and not self._wake_pending:
+                self._wake_pending = True
+                self.sim.schedule_at_fast(free_at, self._wake)
+            self.delivered_data += 1
+            emit(free_at + prop, packet)
+            return

@@ -29,7 +29,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import TopologyError
 from repro.sim.engine import Simulator
-from repro.sim.link import Link
+from repro.sim.link import BoundaryLink, Link
 from repro.sim.node import Node, Router
 from repro.sim.queues import DropTailQueue, FifoQueue
 from repro.sim.routing import equal_cost_next_hops, reconstruct_path, shortest_paths
@@ -108,6 +108,49 @@ class Topology:
             bandwidth_pps=bandwidth_pps,
             prop_delay=prop_delay,
             queue=queue_factory(),
+        )
+        self.links[link_name] = link
+        self._invalidate()
+        return link
+
+    def add_boundary_link(
+        self,
+        src: str,
+        dst_name: str,
+        bandwidth_pps: float,
+        prop_delay: float,
+        queue_factory: QueueFactory,
+        emit: Callable[[float, "object"], None],
+    ) -> BoundaryLink:
+        """Add the local half of a cut link whose far end is remote.
+
+        ``src`` must be a local node; ``dst_name`` names a node owned by
+        another partition, so only its name is recorded (no local object
+        exists).  Transmitted packets are handed to ``emit(deliver_time,
+        packet)`` for cross-partition delivery instead of a local event.
+        The link is registered under the same ``src->dst`` name the
+        serial build would use, so forwarding tables computed over the
+        global shadow graph resolve to it by name.
+        """
+        if src not in self.nodes:
+            raise TopologyError(f"unknown source node {src!r}")
+        if dst_name in self.nodes:
+            raise TopologyError(
+                f"boundary link {src!r}->{dst_name!r}: destination is a "
+                "local node; use add_link for intra-partition links"
+            )
+        link_name = f"{src}->{dst_name}"
+        if link_name in self.links:
+            raise TopologyError(f"duplicate link name {link_name!r}")
+        link = BoundaryLink(
+            self.sim,
+            link_name,
+            src_name=src,
+            dst_name=dst_name,
+            bandwidth_pps=bandwidth_pps,
+            prop_delay=prop_delay,
+            queue=queue_factory(),
+            emit=emit,
         )
         self.links[link_name] = link
         self._invalidate()

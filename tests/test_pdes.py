@@ -1,0 +1,446 @@
+"""Conservative-PDES tests: partitioner, windowed engine, equivalence.
+
+The core claim of :mod:`repro.experiments.pdes` is that a partitioned
+run is not an approximation: with every RNG stream name-derived, routing
+and control delays resolved over the global shadow graph, and boundary
+links reproducing the queued-path transmission timestamps, a two-way
+partitioned chain must match the serial run *exactly* — same delivered
+counts, same drops, bit-equal rate/throughput series.  Mesh and
+parking-lot workloads at four partitions are additionally pinned
+statistically (weighted Jain and 2% per-flow mean rates against serial),
+the tolerance the scheme-level acceptance uses.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError, TopologyError
+from repro.experiments.builder import CloudBuilder
+from repro.experiments.partition import PartitionPlan, ShadowGraph, auto_partition
+from repro.experiments.pdes import ParallelCloud
+from repro.experiments.scenarios import mesh_flows, parking_lot_flows
+from repro.experiments.topospec import FlowPathSpec, SourceSpec, TopologySpec
+from repro.sim.engine import Simulator
+from repro.units import ms_to_s
+
+
+def chain_flows():
+    return [
+        FlowPathSpec(1, weight=2.0, ingress_core="C1", egress_core="C4"),
+        FlowPathSpec(2, weight=1.0, ingress_core="C1", egress_core="C2"),
+        FlowPathSpec(3, weight=3.0, ingress_core="C3", egress_core="C4"),
+        FlowPathSpec(4, weight=1.0, ingress_core="C2", egress_core="C3"),
+        FlowPathSpec(5, weight=1.0, ingress_core="C4", egress_core="C1"),
+    ]
+
+
+def rich_flows():
+    """Sources, schedules, contracts, aggregates and micro-flows in one
+    scenario — every generator path the scheduler knows."""
+    return [
+        FlowPathSpec(
+            1,
+            weight=2.0,
+            ingress_core="C1",
+            egress_core="C4",
+            source=SourceSpec(kind="poisson", mean_rate=120.0),
+        ),
+        FlowPathSpec(2, weight=1.0, ingress_core="C1", egress_core="C4", min_rate=20.0),
+        FlowPathSpec(
+            3,
+            weight=1.0,
+            ingress_core="C2",
+            egress_core="C4",
+            aggregate=3,
+            source=SourceSpec(kind="poisson", mean_rate=40.0),
+        ),
+        FlowPathSpec(
+            4,
+            weight=1.0,
+            ingress_core="C3",
+            egress_core="C1",
+            micro_flows=(
+                (1, SourceSpec(kind="poisson", mean_rate=30.0)),
+                (2, SourceSpec(kind="poisson", mean_rate=50.0)),
+            ),
+        ),
+        FlowPathSpec(
+            5, weight=1.0, ingress_core="C2", egress_core="C3", schedule=((5.0, 20.0),)
+        ),
+    ]
+
+
+def run_pair(spec, flows, scheme, until, *, partitions=2, mode="inline", plan=None, **kw):
+    def builder():
+        b = CloudBuilder(spec, scheme=scheme, seed=7, **kw)
+        b.add_flows(flows)
+        return b
+
+    serial = builder().run(until=until)
+    b = builder()
+    b.partitions = partitions
+    b.partition_plan = plan
+    b.pdes_mode = mode
+    parallel = b.run(until=until)
+    return serial, parallel
+
+
+def assert_identical(serial, parallel):
+    """Field-for-field equality of two RunResults (exact, not statistical)."""
+    assert set(serial.flows) == set(parallel.flows)
+    for fid, a in serial.flows.items():
+        b = parallel.flows[fid]
+        assert a.delivered == b.delivered, fid
+        assert a.losses == b.losses, fid
+        assert a.weight == b.weight
+        assert a.path_links == b.path_links
+        assert a.delay == b.delay
+        assert a.micro_delivered == b.micro_delivered
+        assert list(a.rate_series) == list(b.rate_series), fid
+        assert list(a.throughput_series) == list(b.throughput_series), fid
+        assert list(a.cumulative_series) == list(b.cumulative_series), fid
+    assert serial.total_drops == parallel.total_drops
+    assert serial.capacities == parallel.capacities
+    assert serial.scheme == parallel.scheme
+    assert serial.seed == parallel.seed
+
+
+# -- partitioner ---------------------------------------------------------------
+
+
+class TestPartitionPlan:
+    def test_auto_partition_chain_splits_in_the_middle(self):
+        spec = TopologySpec.chain(4)
+        plan = auto_partition(spec, 2)
+        assert plan.cores_of(0) == ("C1", "C2")
+        assert plan.cores_of(1) == ("C3", "C4")
+        assert plan.window(spec) == pytest.approx(ms_to_s(40.0))
+
+    def test_auto_partition_cuts_the_longest_delay_links(self):
+        # Two tight pairs joined by a slow link: the min-cut over delay
+        # must leave the slow link crossing, maximizing the window.
+        spec = TopologySpec.mesh()
+        plan = auto_partition(spec, 2)
+        assert {len(plan.cores_of(0)), len(plan.cores_of(1))} == {2}
+        cut = plan.cut_links(spec)
+        assert cut
+        assert plan.window(spec) == min(link.prop_delay for link in cut)
+
+    def test_single_partition_has_no_cut(self):
+        spec = TopologySpec.chain(3)
+        plan = auto_partition(spec, 1)
+        assert plan.cut_links(spec) == ()
+        assert plan.window(spec) == math.inf
+
+    def test_too_many_partitions_rejected(self):
+        with pytest.raises(ConfigurationError, match="cannot split"):
+            auto_partition(TopologySpec.chain(2), 3)
+
+    def test_mapping_round_trip(self):
+        plan = PartitionPlan.from_mapping({"C1": 0, "C2": 0, "C3": 1, "C4": 1})
+        restored = PartitionPlan.from_dict(plan.to_dict())
+        assert restored == plan
+        assert restored.partition_of("C3") == 1
+
+    def test_mapping_validation(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            PartitionPlan.from_mapping({})
+        with pytest.raises(ConfigurationError, match="twice"):
+            PartitionPlan((("C1", 0), ("C1", 0)), 1)
+        with pytest.raises(ConfigurationError, match="outside"):
+            PartitionPlan((("C1", 0), ("C2", 5)), 2)
+        with pytest.raises(ConfigurationError, match="empty"):
+            PartitionPlan((("C1", 0), ("C2", 0)), 2)
+        with pytest.raises(ConfigurationError, match="declares"):
+            PartitionPlan.from_dict(
+                {"num_partitions": 3, "assignments": {"C1": 0, "C2": 1}}
+            )
+
+    def test_validate_for_checks_core_cover(self):
+        spec = TopologySpec.chain(3)
+        plan = PartitionPlan.from_mapping({"C1": 0, "C2": 1})
+        with pytest.raises(ConfigurationError, match="does not match topology"):
+            plan.validate_for(spec)
+
+    def test_zero_delay_cut_is_rejected(self):
+        spec = TopologySpec.chain(2, prop_delay=0.0)
+        plan = PartitionPlan.from_mapping({"C1": 0, "C2": 1})
+        with pytest.raises(ConfigurationError, match="zero-delay"):
+            plan.window(spec)
+
+    def test_spec_partition_plan_manual_override(self):
+        spec = TopologySpec.chain(4)
+        plan = spec.partition_plan(2, assignments={"C1": 0, "C2": 1, "C3": 1, "C4": 0})
+        assert plan.partition_of("C4") == 0
+        with pytest.raises(TopologyError):
+            spec.partition_plan(3, assignments={"C1": 0, "C2": 1, "C3": 1, "C4": 0})
+
+    def test_shadow_graph_matches_serial_paths(self):
+        spec = TopologySpec.chain(4)
+        flows = chain_flows()
+        shadow = ShadowGraph(spec, flows)
+        builder = CloudBuilder(spec, scheme="corelite", seed=0)
+        builder.add_flows(flows)
+        cloud = builder.build()
+        for flow in flows:
+            assert shadow.path_link_names(
+                flow.ingress_edge, flow.egress_edge
+            ) == cloud.flow_path_links(flow.flow_id)
+            assert shadow.path_delay(
+                flow.ingress_edge, flow.egress_edge
+            ) == cloud.topology.path_delay(flow.ingress_edge, flow.egress_edge)
+        assert shadow.capacities == cloud.link_capacities()
+
+
+# -- windowed engine -----------------------------------------------------------
+
+
+class TestWindowedEngine:
+    def test_run_window_advances_clock_to_barrier(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(0.5, fired.append, 1)
+        sim.schedule_at(1.5, fired.append, 2)
+        sim.run_window(1.0)
+        assert fired == [1]
+        assert sim.now == 1.0
+        sim.run_window(2.0)
+        assert fired == [1, 2]
+
+    def test_run_window_into_the_past_raises(self):
+        sim = Simulator()
+        sim.run_window(1.0)
+        with pytest.raises(SimulationError, match="past"):
+            sim.run_window(0.5)
+
+    def test_inject_into_the_past_raises(self):
+        sim = Simulator()
+        sim.run_window(1.0)
+        with pytest.raises(SimulationError, match="past"):
+            sim.inject(0.5, lambda: None)
+
+    def test_inject_from_inside_run_raises(self):
+        sim = Simulator()
+
+        def evil():
+            sim.inject(2.0, lambda: None)
+
+        sim.schedule_at(0.5, evil)
+        with pytest.raises(SimulationError, match="between windows"):
+            sim.run(until=1.0)
+
+    def test_injected_events_dispatch_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.run_window(1.0)
+        sim.inject(1.5, fired.append, "b")
+        sim.inject(1.25, fired.append, "a")
+        sim.schedule_at(1.75, fired.append, "c")
+        sim.run_window(2.0)
+        assert fired == ["a", "b", "c"]
+
+
+# -- serial equivalence --------------------------------------------------------
+
+
+class TestTwoPartitionChainEquivalence:
+    """The tentpole pin: a two-way chain split is *exactly* the serial run."""
+
+    @pytest.mark.parametrize("scheme", ["corelite", "csfq", "fifo"])
+    def test_backlogged_chain_matches_serial_exactly(self, scheme):
+        serial, parallel = run_pair(
+            TopologySpec.chain(4), chain_flows(), scheme, 30.0
+        )
+        assert_identical(serial, parallel)
+        assert serial.total_delivered() > 0
+
+    def test_rich_corelite_scenario_matches_serial_exactly(self):
+        serial, parallel = run_pair(
+            TopologySpec.chain(4), rich_flows(), "corelite", 30.0
+        )
+        assert_identical(serial, parallel)
+        # The aggregate and micro-flow buckets keep per-member accounting.
+        assert parallel.flows[3].micro_delivered
+        assert parallel.flows[4].micro_delivered
+
+    def test_manual_plan_override_matches_serial_exactly(self):
+        spec = TopologySpec.chain(4)
+        plan = spec.partition_plan(2, assignments={"C1": 0, "C2": 0, "C3": 0, "C4": 1})
+        serial, parallel = run_pair(
+            spec, chain_flows(), "corelite", 30.0, plan=plan
+        )
+        assert_identical(serial, parallel)
+
+    def test_byte_identical_toggles_still_match(self):
+        serial, parallel = run_pair(
+            TopologySpec.chain(4),
+            chain_flows(),
+            "corelite",
+            20.0,
+            packet_pool=True,
+            calendar=False,
+        )
+        assert_identical(serial, parallel)
+
+    def test_process_mode_matches_serial_exactly(self):
+        serial, parallel = run_pair(
+            TopologySpec.chain(4), chain_flows(), "corelite", 20.0, mode="process"
+        )
+        assert_identical(serial, parallel)
+
+    def test_csfq_loss_notifications_cross_the_cut(self):
+        # Unresponsive overload: egress loss notifications must travel
+        # back across the partition boundary to throttle the sources.
+        spec = TopologySpec.chain(4, queue_capacity=20.0)
+        flows = [
+            FlowPathSpec(
+                fid,
+                weight=1.0,
+                ingress_core="C1",
+                egress_core="C4",
+                source=SourceSpec(kind="poisson", mean_rate=400.0),
+            )
+            for fid in (1, 2)
+        ]
+        serial, parallel = run_pair(spec, flows, "csfq", 30.0)
+        assert_identical(serial, parallel)
+        assert serial.total_losses() > 0
+
+
+class TestFourPartitionStatisticalPins:
+    """Mesh and parking-lot at one core per partition: the acceptance
+    pins are statistical (Jain + 2% mean rates), though the runs are in
+    fact exact — asserted on top as a regression canary."""
+
+    def assert_pinned(self, serial, parallel, window):
+        serial_rates = serial.mean_rates(window)
+        parallel_rates = parallel.mean_rates(window)
+        for fid, expect in serial_rates.items():
+            got = parallel_rates[fid]
+            assert got == pytest.approx(expect, rel=0.02), fid
+        assert parallel.fairness_at(window) == pytest.approx(
+            serial.fairness_at(window), abs=0.01
+        )
+
+    def test_mesh_workload_four_partitions(self):
+        spec = TopologySpec.mesh()
+        serial, parallel = run_pair(
+            spec, mesh_flows(), "corelite", 40.0, partitions=4
+        )
+        self.assert_pinned(serial, parallel, (20.0, 40.0))
+        assert_identical(serial, parallel)
+
+    def test_parking_lot_workload_four_partitions(self):
+        spec = TopologySpec.parking_lot(hops=3)
+        serial, parallel = run_pair(
+            spec, parking_lot_flows(hops=3), "corelite", 40.0, partitions=4
+        )
+        self.assert_pinned(serial, parallel, (20.0, 40.0))
+        assert_identical(serial, parallel)
+
+
+# -- v1 restrictions and API guards --------------------------------------------
+
+
+class TestRestrictions:
+    def make(self, **kw):
+        return ParallelCloud(
+            TopologySpec.chain(4),
+            "corelite",
+            chain_flows(),
+            partitions=2,
+            mode="inline",
+            **kw,
+        )
+
+    def test_build_rejects_multiple_partitions(self):
+        builder = CloudBuilder(TopologySpec.chain(4), partitions=2)
+        with pytest.raises(ConfigurationError, match="build_parallel"):
+            builder.build()
+
+    def test_builder_validates_partition_kwargs(self):
+        with pytest.raises(ConfigurationError, match="partitions"):
+            CloudBuilder(TopologySpec.chain(4), partitions=0)
+        with pytest.raises(ConfigurationError, match="pdes_mode"):
+            CloudBuilder(TopologySpec.chain(4), pdes_mode="thread")
+
+    def test_record_queues_rejected(self):
+        with pytest.raises(ConfigurationError, match="record_queues"):
+            self.make().run(until=5.0, record_queues=True)
+
+    def test_dynamics_events_rejected(self):
+        from repro.sim.dynamics import NetworkEvent
+
+        spec = TopologySpec.chain(
+            4, events=(NetworkEvent(5.0, "link_down", "C2", "C3"),)
+        )
+        with pytest.raises(ConfigurationError, match="dynamics"):
+            ParallelCloud(spec, "corelite", chain_flows(), partitions=2)
+
+    def test_tcp_flows_rejected(self):
+        flows = [
+            FlowPathSpec(1, ingress_core="C1", egress_core="C4", transport="tcp")
+        ]
+        with pytest.raises(ConfigurationError, match="TCP"):
+            ParallelCloud(TopologySpec.chain(4), "corelite", flows, partitions=2)
+
+    def test_control_loss_rejected(self):
+        with pytest.raises(ConfigurationError, match="control_loss_prob"):
+            self.make(control_loss_prob=0.1)
+
+    def test_queue_factory_needs_inline_mode(self):
+        from repro.sim.queues import DropTailQueue
+
+        with pytest.raises(ConfigurationError, match="inline"):
+            ParallelCloud(
+                TopologySpec.chain(4),
+                "corelite",
+                chain_flows(),
+                partitions=2,
+                mode="process",
+                queue_factory=lambda: DropTailQueue(capacity=40),
+            )
+
+    def test_empty_flows_rejected(self):
+        with pytest.raises(ConfigurationError, match="no flows"):
+            ParallelCloud(TopologySpec.chain(4), "corelite", [], partitions=2)
+
+    def test_duplicate_flow_ids_rejected(self):
+        flows = [
+            FlowPathSpec(1, ingress_core="C1", egress_core="C4"),
+            FlowPathSpec(1, ingress_core="C2", egress_core="C3"),
+        ]
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            ParallelCloud(TopologySpec.chain(4), "corelite", flows, partitions=2)
+
+    def test_plan_partition_count_must_match(self):
+        plan = PartitionPlan.from_mapping({"C1": 0, "C2": 0, "C3": 1, "C4": 1})
+        with pytest.raises(ConfigurationError, match="asked for"):
+            ParallelCloud(
+                TopologySpec.chain(4),
+                "corelite",
+                chain_flows(),
+                partitions=3,
+                plan=plan,
+            )
+
+    def test_admission_rejection_matches_serial_message(self):
+        flows = [
+            FlowPathSpec(
+                1, ingress_core="C1", egress_core="C4", min_rate=10_000.0
+            )
+        ]
+        with pytest.raises(ConfigurationError, match="rejected by admission") as serial:
+            b = CloudBuilder(TopologySpec.chain(4), scheme="corelite")
+            b.add_flows(flows)
+            b.run(until=5.0)
+        with pytest.raises(ConfigurationError, match="rejected by admission") as par:
+            ParallelCloud(
+                TopologySpec.chain(4),
+                "corelite",
+                flows,
+                partitions=2,
+                mode="inline",
+            ).run(until=5.0)
+        assert str(par.value) == str(serial.value)
