@@ -303,9 +303,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--pool", action="store_true",
                        help="enable the packet free-list pool in the "
                             "scenario bench")
+    bench.add_argument("--train-batch", type=int, default=None,
+                       help="override the flow-scaling rungs' train batch "
+                            "(1 forces the scalar datapath — the way the "
+                            "interleaved _base half of a before/after "
+                            "pair is produced; default: per-rung config)")
     bench.add_argument("--profile", type=str, default=None, metavar="STATS",
-                       help="run the suite under cProfile and dump pstats "
-                            "data to a file")
+                       help="run the suite under cProfile, dump pstats "
+                            "data to a file, and embed the top-20 "
+                            "cumulative entries in the JSON report")
     bench.set_defaults(handler=_run_bench)
 
     rp = sub.add_parser(
@@ -427,14 +433,17 @@ def _run_bench(args: argparse.Namespace) -> Dict:
         return {"benches": [row[0] for row in rows]}
 
     print(f"== corelite bench ({'quick' if args.quick else 'full'} suite) ==")
-    with _maybe_profile(args.profile):
+    with _maybe_profile(args.profile) as prof:
         report = perf.run_suite(
             label=args.label,
             quick=args.quick,
             repeats=args.repeats,
             pool=args.pool,
+            train_batch=args.train_batch,
             log=print,
         )
+    if prof.profile is not None:
+        report.profile = perf.profile_summary(prof.profile)
     print()
     print(perf.format_report_table(report))
     os.makedirs(args.out_dir, exist_ok=True)
@@ -447,7 +456,10 @@ def _run_bench(args: argparse.Namespace) -> Dict:
     if args.baseline:
         baseline = perf.load_report(args.baseline)
         regressions, improvements = perf.diff_reports(
-            payload, baseline, threshold=args.threshold
+            payload,
+            baseline,
+            threshold=args.threshold,
+            warn=lambda message: print(f"  ~ {message}"),
         )
         print(f"\nvs {args.baseline} (gate: -{args.threshold:.0%}):")
         print(perf.format_diff_table(regressions, improvements))
@@ -461,11 +473,21 @@ def _run_bench(args: argparse.Namespace) -> Dict:
 
 
 class _maybe_profile:
-    """Context manager: cProfile the body and dump stats when a path is set."""
+    """Context manager: cProfile the body and dump stats when a path is set.
+
+    The profiler object stays accessible as ``.profile`` after exit so
+    callers can embed a :func:`repro.perf.profile_summary` snapshot in
+    their own reports.
+    """
 
     def __init__(self, stats_path: Optional[str]) -> None:
         self._path = stats_path
         self._profile = None
+
+    @property
+    def profile(self):
+        """The cProfile.Profile instance, or None when profiling is off."""
+        return self._profile
 
     def __enter__(self):
         if self._path:

@@ -36,7 +36,7 @@ from repro.sim.estimators import ExponentialRateEstimator
 from repro.sim.engine import PeriodicTask, Simulator
 from repro.sim.monitor import ThroughputMeter
 from repro.sim.node import Router
-from repro.sim.packet import Packet, PacketKind
+from repro.sim.packet import Packet, PacketKind, PacketTrain
 
 __all__ = ["FlowAttachment", "CoreliteEdge"]
 
@@ -220,6 +220,7 @@ class CoreliteEdge(Router):
         config: CoreliteConfig,
         epoch_offset: Optional[float] = None,
         vectorized: bool = False,
+        train_batch: int = 1,
     ) -> None:
         """``epoch_offset`` staggers this edge's first adaptation tick so
         that edges created together do not adapt in lockstep (see
@@ -228,11 +229,21 @@ class CoreliteEdge(Router):
         ``vectorized`` moves the per-flow scalars into a slot-indexed
         :class:`~repro.sim.flowarrays.FlowArrayBank` and runs the epoch
         as one masked array sweep; the default keeps the scalar
-        object-per-flow path (byte-identical replays)."""
+        object-per-flow path (byte-identical replays).
+
+        ``train_batch = K > 1`` turns on the packet-train datapath: each
+        shaper firing emits up to K back-to-back packets as one
+        :class:`~repro.sim.packet.PacketTrain` (statistically pinned;
+        K = 1 keeps the scalar per-packet emission byte-identical).
+        External (host-originated) flows always stay scalar — their
+        packets pre-exist with transport-owned sequence numbers."""
         super().__init__(name)
+        if train_batch < 1:
+            raise FlowError(f"train_batch must be >= 1, got {train_batch}")
         self.sim = sim
         self.config = config
         self._epoch_offset = epoch_offset
+        self._train_batch = int(train_batch)
         # Marker piggybacking (see CoreliteConfig.batched_control): a due
         # marker rides its companion data packet as (origin_edge, label)
         # instead of a separate zero-size packet — same arrival instant,
@@ -284,6 +295,9 @@ class CoreliteEdge(Router):
         member_weight = attachment.weight / attachment.aggregate
         injector = MarkerInjector(self.config.marker_interval(member_weight))
         scale = float(attachment.aggregate)
+        # Train datapath: internally-sourced flows coalesce departures;
+        # external flows keep scalar emission (their packets pre-exist).
+        train_batch = 1 if attachment.external else self._train_batch
         if self._bank is not None:
             from repro.sim.flowarrays import ArrayPacedSender, ArrayRateController
 
@@ -308,6 +322,12 @@ class CoreliteEdge(Router):
                 controller.rate,
                 lambda s=state: self._emit(s),
                 burst=self.config.shaper_burst,
+                train_batch=train_batch,
+                train_emit=(
+                    (lambda n, s=state: self._emit_train(s, n))
+                    if train_batch > 1
+                    else None
+                ),
             )
         else:
             controller = RateController(
@@ -324,6 +344,12 @@ class CoreliteEdge(Router):
                 controller.rate,
                 lambda s=state: self._emit(s),
                 burst=self.config.shaper_burst,
+                train_batch=train_batch,
+                train_emit=(
+                    (lambda n, s=state: self._emit_train(s, n))
+                    if train_batch > 1
+                    else None
+                ),
             )
         self._ingress_index[attachment.flow_id] = len(self._ingress_flows)
         self._ingress_flows.append(state)
@@ -523,6 +549,71 @@ class CoreliteEdge(Router):
             )
         return True
 
+    def _emit_train(self, state: _IngressFlow, allowance: int) -> int:
+        """Train-mode pacer callback: emit up to ``allowance`` packets as
+        one :class:`PacketTrain`.  Returns the member count actually sent
+        (0 parks the shaper until a deposit kicks it).
+
+        Marker bookkeeping matches ``allowance`` scalar emissions: the
+        injector advances once per member, due markers ride the train
+        (``marker_count``) in merged mode or follow it as standalone
+        zero-size packets otherwise.
+        """
+        att = state.attachment
+        now = self.sim.now
+        n = allowance
+        micro_ids = None
+        if state.mux is not None:
+            pop = state.mux.pop
+            picked = []
+            while len(picked) < allowance:
+                micro = pop()
+                if micro is None:
+                    break
+                picked.append(micro)
+            if not picked:
+                return 0
+            n = len(picked)
+            micro_ids = tuple(picked)
+        elif state.backlog is not None:
+            backlog = state.backlog
+            if backlog < 1:
+                return 0
+            if backlog < n:
+                n = backlog
+            state.backlog = backlog - n
+        train = PacketTrain.build(
+            att.flow_id, self.name, att.dst_edge, state.seq, n, now, sim=self.sim
+        )
+        state.seq += n
+        if micro_ids is not None:
+            train.micro_ids = micro_ids
+            train.micro_id = micro_ids[0]
+        if state.rate_estimator is not None:
+            state.rate_estimator.update(now, float(n))
+        due = state.injector.on_train(n)
+        if due:
+            rate = state.controller.rate
+            if state.rate_estimator is not None:
+                rate = min(rate, state.rate_estimator.rate)
+            label = max(0.0, rate - att.min_rate) / att.weight
+            if self._merge_markers:
+                aboard = due if due <= n else n
+                train.origin_edge = self.name
+                train.label = label
+                train.marker_count = aboard
+                extra = due - aboard
+            else:
+                extra = due
+            for _ in range(extra):
+                self.forward(
+                    Packet.marker(
+                        att.flow_id, self.name, att.dst_edge, label, now, sim=self.sim
+                    )
+                )
+        self.forward(train)
+        return n
+
     def _epoch(self) -> None:
         """Edge epoch: run rate adaptation on every active ingress flow."""
         if self._bank is not None:
@@ -691,10 +782,15 @@ class CoreliteEdge(Router):
             return
         if packet.kind is not _DATA:
             return
+        if packet.count != 1:
+            self._deliver_train(state, packet)
+            return
         if packet.origin_edge is not None:
             # A piggybacked marker (batched control plane) rode this data
             # packet; account it so marker stats match unbatched runs.
-            state.markers_received += 1
+            # ``marker_count`` is 1 for every scalar packet; a one-member
+            # train can also land here and may carry exactly one.
+            state.markers_received += packet.marker_count
         if state.expected_seq is not None and packet.seq > state.expected_seq:
             state.lost += packet.seq - state.expected_seq
         # A restarted flow re-begins at seq 0; treat backward jumps as resets.
@@ -709,6 +805,41 @@ class CoreliteEdge(Router):
         pool = self.sim.packet_pool
         if pool is not None:
             pool.release(packet)
+
+    def _deliver_train(self, state: _EgressFlow, train: Packet) -> None:
+        """Egress sweep for a whole train: one pass of bulk bookkeeping.
+
+        The loss detector works off the head sequence number exactly as it
+        would for the head member arriving alone, then advances past the
+        tail (members are contiguous, so no intra-train gap is possible).
+        """
+        n = train.count
+        if train.origin_edge is not None:
+            state.markers_received += train.marker_count
+        head = train.seq
+        expected = state.expected_seq
+        if expected is not None and head > expected:
+            state.lost += head - expected
+        # A restarted flow re-begins at seq 0; backward jumps reset.
+        state.expected_seq = head + n if head >= (expected or 0) else 1
+        state.meter.record(n)
+        base = max(0.0, self.sim.now - train.created_at)
+        lags = train.member_lags
+        if lags is None:
+            state.delay.record_many(base, n)
+        else:
+            state.delay.record_train(base, lags)
+        micro_delivered = state.micro_delivered
+        micro_ids = train.micro_ids
+        if micro_ids is None:
+            micro = train.micro_id
+            micro_delivered[micro] = micro_delivered.get(micro, 0) + n
+        else:
+            for micro in micro_ids:
+                micro_delivered[micro] = micro_delivered.get(micro, 0) + 1
+        pool = self.sim.packet_pool
+        if pool is not None:
+            pool.release(train)
 
     # -- shared receive path -------------------------------------------------
 
@@ -730,6 +861,6 @@ class CoreliteEdge(Router):
             out_slot = self._egress_index.get(packet.flow_id)
             if out_slot is not None:
                 egress_state = self._egress_flows[out_slot]
-                egress_state.meter.record()
+                egress_state.meter.record(packet.count)
                 egress_state.delay.record(max(0.0, self.sim.now - packet.created_at))
         self.forward(packet)

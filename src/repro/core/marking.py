@@ -52,6 +52,24 @@ class MarkerInjector:
         self.markers_emitted += markers
         return markers
 
+    def on_train(self, n: int) -> int:
+        """Account ``n`` unit-size data packets at once (train datapath).
+
+        Equivalent to ``n`` calls of :meth:`on_data` up to float rounding
+        (one division instead of up to ``n`` subtractions); the long-run
+        marker/data ratio is identical.  Returns the markers now due.
+        """
+        if n < 0:
+            raise ConfigurationError(f"n must be >= 0, got {n}")
+        self.data_seen += n
+        credit = self._credit + n
+        markers = int(credit // self.interval)
+        if markers:
+            credit -= markers * self.interval
+            self.markers_emitted += markers
+        self._credit = credit
+        return markers
+
     def reset(self) -> None:
         """Forget accumulated credit (used when a flow restarts)."""
         self._credit = 0.0

@@ -197,17 +197,24 @@ class CoreliteCoreRouter(Router):
         ):
             # Standalone marker, or a data packet carrying a piggybacked
             # one (batched control plane) — the selector observes both
-            # identically; only the event count differs.
+            # identically; only the event count differs.  A PacketTrain
+            # can carry several markers (``marker_count``); the selector
+            # observes each as if it had arrived standalone (scalar
+            # packets always carry exactly one).
             machinery = self._machinery.get(out_link.name)
             if machinery is not None:
+                markers = packet.marker_count
                 if machinery.parked_at is not None:
-                    self._note_parked_marker(machinery)
-                machinery.selector.observe(
-                    packet.flow_id,
-                    packet.origin_edge or packet.src,
-                    packet.label,
-                    self.sim.now,
-                )
+                    self._note_parked_marker(machinery, markers)
+                observe = machinery.selector.observe
+                flow_id = packet.flow_id
+                origin = packet.origin_edge or packet.src
+                label = packet.label
+                now = self.sim.now
+                observe(flow_id, origin, label, now)
+                if markers != 1:
+                    for _ in range(markers - 1):
+                        observe(flow_id, origin, label, now)
         out_link.send(packet)
 
     # -- congestion epoch -------------------------------------------------
@@ -292,9 +299,10 @@ class CoreliteCoreRouter(Router):
         if machinery is not None and machinery.parked_at is not None:
             self._unpark(machinery)
 
-    def _note_parked_marker(self, machinery: _LinkMachinery) -> None:
-        """A marker is traversing a parked link: bin it into the virtual
-        epoch grid so the skipped ``wav`` folds replay exactly on unpark."""
+    def _note_parked_marker(self, machinery: _LinkMachinery, count: int = 1) -> None:
+        """A marker (or a train carrying ``count`` of them) is traversing a
+        parked link: bin it into the virtual epoch grid so the skipped
+        ``wav`` folds replay exactly on unpark."""
         now = self.sim.now
         nxt = machinery.park_next
         if now >= nxt:
@@ -310,7 +318,7 @@ class CoreliteCoreRouter(Router):
                 nxt = t + interval
             machinery.park_t = t
             machinery.park_next = nxt
-        machinery.park_pending += 1
+        machinery.park_pending += count
 
     def _unpark(self, machinery: _LinkMachinery) -> None:
         """First enqueue-capable packet after parking: restore ``send``

@@ -17,6 +17,24 @@ empty slots; whoever refills the backlog calls :meth:`PacedSender.kick`.
 Rate changes take effect immediately: the accumulated credit is re-priced
 at the new rate, so a throttled flow cannot burst on credit earned at its
 old, higher rate.
+
+Train mode (opt-in)
+-------------------
+With ``train_batch = K > 1`` the shaper coalesces departures: instead of
+one timer firing per packet it sleeps until ~K tokens have accrued (never
+longer than ``train_horizon`` seconds) and emits them as one batch through
+the ``train_emit(allowance) -> sent`` callback — the edge wraps the batch
+in a single :class:`~repro.sim.packet.PacketTrain`.  The long-run rate is
+unchanged (tokens still accrue at ``bg``); what changes is the burst
+structure: up to K packets leave back-to-back, which is why train mode is
+pinned statistically rather than byte-identically.  The horizon cap keeps
+slow flows responsive — a flow at rate ``r`` coalesces
+``min(K, r * train_horizon)`` packets, so coalescing fades out exactly
+where per-event overhead no longer dominates.  (The literal paper-world
+criterion — coalesce while the inter-packet gap is below the bottleneck
+serialization time — degenerates at simulated rates: gaps are milliseconds
+while serialization is microseconds, so the time horizon stands in as the
+engageable form of the same rule.)
 """
 
 from __future__ import annotations
@@ -26,12 +44,17 @@ from typing import Callable, Optional
 from repro.errors import ConfigurationError
 from repro.sim.engine import EventHandle, Simulator
 
-__all__ = ["PacedSender"]
+__all__ = ["PacedSender", "TRAIN_HORIZON"]
 
 #: Tolerance when testing for a whole token: repeated accrual over float
 #: timestamps can land at 1 - 1e-16, and the residual delay would round
 #: to the same simulation instant (a livelock).
 _TOKEN_EPS = 1e-9
+
+#: Default cap on how long a train-mode shaper waits to coalesce a batch.
+#: Bounds the extra shaping latency a member can pick up (one horizon) and
+#: scales the effective batch for slow flows to ``rate * horizon``.
+TRAIN_HORIZON = 0.05
 
 
 class PacedSender:
@@ -49,6 +72,10 @@ class PacedSender:
         "_last_emit",
         "packets_sent",
         "idle_parks",
+        "_fire_cb",
+        "_train_batch",
+        "_train_emit",
+        "_train_horizon",
     )
 
     def __init__(
@@ -57,14 +84,36 @@ class PacedSender:
         rate: float,
         emit: Callable[[], Optional[bool]],
         burst: float = 1.0,
+        train_batch: int = 1,
+        train_emit: Optional[Callable[[int], int]] = None,
+        train_horizon: float = TRAIN_HORIZON,
     ) -> None:
         if rate < 0:
             raise ConfigurationError(f"rate must be >= 0, got {rate}")
         if burst < 1.0:
             raise ConfigurationError(f"burst must be >= 1 packet, got {burst}")
+        if train_batch < 1 or train_batch != int(train_batch):
+            raise ConfigurationError(
+                f"train_batch must be a positive integer, got {train_batch}"
+            )
+        if train_batch > 1 and train_emit is None:
+            raise ConfigurationError("train_batch > 1 requires a train_emit callback")
+        if train_horizon <= 0.0:
+            raise ConfigurationError(
+                f"train_horizon must be positive, got {train_horizon}"
+            )
         self._sim = sim
         self._emit = emit
         self._rate = rate
+        self._train_batch = int(train_batch)
+        self._train_emit = train_emit
+        self._train_horizon = train_horizon
+        if train_batch > 1:
+            # The bucket must be able to hold a whole batch of tokens.
+            burst = max(burst, float(train_batch))
+            self._fire_cb: Callable[[], None] = self._fire_train
+        else:
+            self._fire_cb = self._fire
         self.burst = burst
         self._credit = 1.0  # a fresh flow may send immediately
         self._last_accrual = 0.0
@@ -115,6 +164,14 @@ class PacedSender:
         rate lets a long-waiting flow send promptly, while lowering it
         revokes credit earned at the old rate — a freshly throttled flow
         must not burst.
+
+        In train mode the bucket holds up to ``train_batch`` tokens, so
+        the re-pricing is additionally capped at what had genuinely
+        accrued (or one prompt token, whichever is larger).  Without that
+        cap a rate raise on a slow flow materializes phantom tokens that
+        drain one packet per horizon — a burst cadence far above the
+        programmed rate that the scalar shaper's ``burst = 1`` cap makes
+        impossible, and that skews rate-estimator labels downstream.
         """
         if rate < 0:
             raise ConfigurationError(f"rate must be >= 0, got {rate}")
@@ -122,17 +179,39 @@ class PacedSender:
             return
         now = self._sim.now
         waited = now - self._last_emit if self._last_emit > -float("inf") else float("inf")
+        if self._train_batch > 1:
+            self._accrue()
+            accrued_cap = max(self._credit, 1.0)
+            if self._handle is None:
+                # Parked (or dormant): the scalar idle cap applies — see
+                # :meth:`kick`.  Credit above one token here was banked
+                # while idle, not accumulated mid-coalesce.
+                accrued_cap = 1.0
+        else:
+            accrued_cap = float("inf")
         self._rate = rate
-        self._credit = min(self.burst, waited * rate) if rate > 0 else 0.0
+        self._credit = min(self.burst, waited * rate, accrued_cap) if rate > 0 else 0.0
         self._last_accrual = now
         if self._running:
-            self._schedule(self._delay_until_token())
+            self._schedule(self._next_delay())
 
     def kick(self) -> None:
-        """Wake a parked shaper: the flow's backlog became non-empty."""
+        """Wake a parked shaper: the flow's backlog became non-empty.
+
+        In train mode the bucket is ``train_batch`` deep so an *active*
+        flow can accumulate a batch between firings — but a *parked* flow
+        must not bank one: the scalar shaper's ``burst = 1`` bucket caps
+        idle credit at a single token, and an idle-banked K-burst on wake
+        is a send pattern the scalar datapath cannot produce.  Waking
+        from a park therefore clamps credit to the scalar idle cap.
+        """
         if not self._running or self._handle is not None:
             return
-        self._schedule(self._delay_until_token())
+        if self._train_batch > 1:
+            self._accrue()
+            if self._credit > 1.0:
+                self._credit = 1.0
+        self._schedule(self._next_delay())
 
     # -- internals --------------------------------------------------------
 
@@ -150,6 +229,43 @@ class PacedSender:
             return -1.0  # dormant until the rate rises
         return (1.0 - self._credit) / self._rate
 
+    def _next_delay(self) -> float:
+        """Delay until the next firing under the active emission mode."""
+        if self._train_batch > 1:
+            return self._train_delay()
+        return self._delay_until_token()
+
+    def _train_delay(self) -> float:
+        """Delay until a train is worth firing: a full batch of tokens, or
+        the coalescing horizon, whichever comes first — but never before a
+        single whole token exists (the firing would be empty)."""
+        self._accrue()
+        rate = self._rate
+        credit = self._credit
+        target = float(self._train_batch)
+        if credit >= target - _TOKEN_EPS:
+            return 0.0
+        if rate <= 0.0:
+            return -1.0  # dormant until the rate rises
+        delay = (target - credit) / rate
+        horizon = self._train_horizon
+        if delay > horizon:
+            # The full batch is out of reach: coalesce only what the
+            # horizon allows, and fire the moment the last whole token
+            # within it matures.  Waiting past that point buys a fraction
+            # no train can carry while delaying ready packets — a slow
+            # flow (``rate * horizon < 1``) therefore fires at exactly
+            # the scalar pacing cadence, which downstream rate estimators
+            # rely on (a horizon-late packet reads as an instantaneous-
+            # rate spike on the catch-up gap).
+            reachable = int(credit + horizon * rate + _TOKEN_EPS)
+            if reachable < 1:
+                reachable = 1  # never fire empty: wait for a whole token
+            delay = (reachable - credit) / rate
+            if delay < 0.0:
+                delay = 0.0
+        return delay
+
     def _schedule(self, delay: float, reuse: Optional[EventHandle] = None) -> None:
         if self._handle is not None:
             self._handle.cancel()
@@ -159,9 +275,9 @@ class PacedSender:
         if reuse is not None:
             # ``reuse`` is the handle whose heap entry just fired — re-arm
             # it in place instead of allocating a fresh one per emission.
-            self._handle = self._sim.reschedule(delay, self._fire, reuse)
+            self._handle = self._sim.reschedule(delay, self._fire_cb, reuse)
         else:
-            self._handle = self._sim.schedule(delay, self._fire)
+            self._handle = self._sim.schedule(delay, self._fire_cb)
 
     def _fire(self) -> None:
         fired = self._handle
@@ -184,6 +300,33 @@ class PacedSender:
         self._last_emit = self._sim.now
         self.packets_sent += 1
         self._schedule(self._delay_until_token(), reuse=fired)
+
+    def _fire_train(self) -> None:
+        """Train-mode firing: emit up to ``min(batch, credit)`` packets as
+        one batch through ``train_emit`` and debit what was actually sent."""
+        fired = self._handle
+        self._handle = None
+        if not self._running:
+            return
+        self._accrue()
+        credit = self._credit
+        if credit < 1.0 - _TOKEN_EPS:
+            self._schedule(self._train_delay(), reuse=fired)
+            return
+        allowance = int(credit + _TOKEN_EPS)
+        if allowance > self._train_batch:
+            allowance = self._train_batch
+        sent = self._train_emit(allowance)
+        if not self._running:
+            return  # the emit callback tore the flow down
+        if not sent:
+            # Nothing to send: park until a deposit kicks us.
+            self.idle_parks += 1
+            return
+        self._credit = max(0.0, self._credit - sent)
+        self._last_emit = self._sim.now
+        self.packets_sent += sent
+        self._schedule(self._train_delay(), reuse=fired)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "running" if self._running else "stopped"

@@ -27,7 +27,7 @@ from repro.sim.delay import DelayTracker
 from repro.sim.engine import PeriodicTask, Simulator
 from repro.sim.monitor import ThroughputMeter
 from repro.sim.node import Router
-from repro.sim.packet import Packet, PacketKind
+from repro.sim.packet import Packet, PacketKind, PacketTrain
 
 __all__ = ["CsfqFlowAttachment", "CsfqEdge"]
 
@@ -144,17 +144,28 @@ class CsfqEdge(Router):
         config: CsfqConfig,
         epoch_offset: Optional[float] = None,
         vectorized: bool = False,
+        train_batch: int = 1,
     ) -> None:
         """``epoch_offset`` staggers this edge's first adaptation tick so
         that edges created together do not adapt in lockstep.
 
         ``vectorized`` mirrors :class:`repro.core.edge.CoreliteEdge`:
         per-flow scalars move into a slot-indexed FlowArrayBank and the
-        loss-driven epoch runs as one masked array sweep."""
+        loss-driven epoch runs as one masked array sweep.
+
+        ``train_batch = K > 1`` turns on the packet-train datapath (see
+        :class:`repro.core.edge.CoreliteEdge`): shapers emit up to K
+        members per firing as one :class:`~repro.sim.packet.PacketTrain`
+        labeled with a single rate estimate.  Train runs are pinned
+        *statistically* against scalar runs, not byte-for-byte; the
+        default K = 1 stays byte-identical."""
         super().__init__(name)
         self.sim = sim
         self.config = config
         self._epoch_offset = epoch_offset
+        if train_batch < 1:
+            raise FlowError(f"train_batch must be >= 1, got {train_batch}")
+        self._train_batch = int(train_batch)
         self._bank = None
         self._np = None
         self._active_slots = None
@@ -189,6 +200,7 @@ class CsfqEdge(Router):
         # name, so the shared RateController drives CSFQ sources unchanged.
         estimator = ExponentialRateEstimator(self.config.k_flow, start_time=self.sim.now)
         scale = float(attachment.aggregate)
+        train_batch = self._train_batch
         if self._bank is not None:
             from repro.sim.flowarrays import ArrayPacedSender, ArrayRateController
 
@@ -210,6 +222,12 @@ class CsfqEdge(Router):
                 controller.rate,
                 lambda s=state: self._emit(s),
                 burst=self.config.shaper_burst,
+                train_batch=train_batch,
+                train_emit=(
+                    (lambda n, s=state: self._emit_train(s, n))
+                    if train_batch > 1
+                    else None
+                ),
             )
         else:
             controller = RateController(
@@ -225,6 +243,12 @@ class CsfqEdge(Router):
                 controller.rate,
                 lambda s=state: self._emit(s),
                 burst=self.config.shaper_burst,
+                train_batch=train_batch,
+                train_emit=(
+                    (lambda n, s=state: self._emit_train(s, n))
+                    if train_batch > 1
+                    else None
+                ),
             )
         self._ingress_index[attachment.flow_id] = len(self._ingress_flows)
         self._ingress_flows.append(state)
@@ -310,6 +334,43 @@ class CsfqEdge(Router):
         state.seq += 1
         self.forward(packet)
         return True
+
+    def _emit_train(self, state: _IngressFlow, allowance: int) -> int:
+        """Train-mode pacer callback: emit up to ``allowance`` packets as
+        one :class:`PacketTrain`.  Returns the member count actually sent
+        (0 parks the shaper until a deposit kicks it).
+
+        The rate estimator folds the batch as ``n`` evenly-spaced unit
+        arrivals ending at ``now`` (:meth:`update_train`): the endpoint
+        equals one lump fold (the exponential average is linear in
+        load), and the intermediate rungs become per-member labels via
+        ``member_labels``.  CSFQ cores drop against a window-lagged
+        fair-share estimate, so during rate ramps each member must
+        carry the label a scalar emitter would have stamped at its
+        slot, or the whole train sees the ramp's largest label step and
+        drop statistics skew high.  A split at a CSFQ admission point
+        hands each member its own ladder rung.
+        """
+        att = state.attachment
+        now = self.sim.now
+        n = allowance
+        if state.backlog is not None:
+            backlog = state.backlog
+            if backlog < 1:
+                return 0
+            if backlog < n:
+                n = backlog
+            state.backlog = backlog - n
+        ladder = state.estimator.update_train(now, n)
+        train = PacketTrain.build(
+            att.flow_id, self.name, att.dst_edge, state.seq, n, now, sim=self.sim
+        )
+        w = att.weight  # weighted CSFQ: labels are normalized by weight
+        train.label = ladder[-1] / w
+        train.member_labels = tuple(label / w for label in ladder)
+        state.seq += n
+        self.forward(train)
+        return n
 
     def _epoch(self) -> None:
         if self._bank is not None:
@@ -434,6 +495,9 @@ class CsfqEdge(Router):
             )
         if packet.kind is not PacketKind.DATA:
             return
+        if packet.count != 1:
+            self._deliver_train(state, packet)
+            return
         if state.expected_seq is not None and packet.seq > state.expected_seq:
             gap = packet.seq - state.expected_seq
             state.lost += gap
@@ -451,6 +515,35 @@ class CsfqEdge(Router):
         pool = self.sim.packet_pool
         if pool is not None:
             pool.release(packet)
+
+    def _deliver_train(self, state: _EgressFlow, train: Packet) -> None:
+        """Egress sweep for a whole train: one pass of bulk bookkeeping.
+
+        The loss detector works off the head sequence number exactly as
+        it would for the head member arriving alone (one LOSS_NOTIFY with
+        the gap count), then advances past the tail — members are
+        contiguous, so no intra-train gap is possible.  ECN-capable AQMs
+        are non-plain-FIFO queues, so marked packets always arrive as
+        scalars; trains never carry ``ecn``.
+        """
+        n = train.count
+        head = train.seq
+        expected = state.expected_seq
+        if expected is not None and head > expected:
+            gap = head - expected
+            state.lost += gap
+            self._report_loss(train, gap)
+        state.expected_seq = head + n
+        state.meter.record(n)
+        base = max(0.0, self.sim.now - train.created_at)
+        lags = train.member_lags
+        if lags is None:
+            state.delay.record_many(base, n)
+        else:
+            state.delay.record_train(base, lags)
+        pool = self.sim.packet_pool
+        if pool is not None:
+            pool.release(train)
 
     def _report_loss(self, packet: Packet, gap: int) -> None:
         if self.loss_channel is None:

@@ -127,6 +127,17 @@ class CsfqCoreRouter(Router):
     def _csfq_admit(self, state: CsfqLinkState, out_link: Link, packet: Packet) -> None:
         now = self.sim.now
         label = packet.label
+        if packet.count != 1:
+            # CSFQ admission is a per-packet mechanism end to end: the
+            # drop coin, the relabel and the alpha estimation all operate
+            # packet by packet (SIGCOMM'98), so a CSFQ-enabled link is a
+            # train split boundary.  Members admitted back-to-back at one
+            # instant fold into the arrival estimator as pending load —
+            # exactly one lump of ``n`` — and re-serialize individually
+            # on the output link, so downstream hops see scalar traffic.
+            for member in packet.split(self.sim):
+                self._csfq_admit(state, out_link, member)
+            return
         if state.alpha > 0.0 and label > 0.0:
             prob = max(0.0, 1.0 - state.alpha / label)
         else:
@@ -140,10 +151,10 @@ class CsfqCoreRouter(Router):
         if prob > 0.0:
             packet.label = min(label, state.alpha)
         if out_link.send(packet):
-            state.forwarded += 1
+            state.forwarded += packet.count
         else:
             # Buffer overflow: the filter was too permissive -> shrink alpha.
-            state.overflow_drops += 1
+            state.overflow_drops += packet.count
             state.alpha *= self.config.overflow_alpha_decay
 
     # -- fair share estimation ------------------------------------------------

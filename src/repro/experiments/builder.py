@@ -207,6 +207,7 @@ class CoreliteStrategy(SchemeStrategy):
             cloud.config,
             epoch_offset=offset,
             vectorized=cloud.vectorized,
+            train_batch=cloud.train_batch,
         )
 
     def attach_ingress(self, cloud: "Cloud", edge, spec: FlowPathSpec) -> None:
@@ -314,6 +315,7 @@ class CsfqStrategy(SchemeStrategy):
             cloud.config,
             epoch_offset=offset,
             vectorized=cloud.vectorized,
+            train_batch=cloud.train_batch,
         )
 
         def loss_channel(packet: Packet, src: str = name) -> None:
@@ -406,6 +408,7 @@ class Cloud:
         packet_pool: bool = False,
         calendar: bool = True,
         vectorized: bool = False,
+        train_batch: int = 1,
         partition=None,
     ) -> None:
         """``queue_factory`` overrides the default drop-tail buffer on
@@ -423,6 +426,12 @@ class Cloud:
         NumPy arrays and runs each congestion epoch as one masked sweep;
         results are statistically equivalent (pinned by Jain/per-flow
         tolerance tests) but not guaranteed byte-identical.
+        ``train_batch = K > 1`` turns on the packet-train datapath: edge
+        shapers emit up to K packets per firing as one
+        :class:`~repro.sim.packet.PacketTrain` that links transmit as a
+        single event, splitting back into scalars at any per-packet
+        decision boundary; like ``vectorized``, train runs are pinned
+        statistically, and the default K = 1 stays byte-identical.
 
         ``partition`` (internal; set by :mod:`repro.experiments.pdes`)
         restricts the build to one domain of a partitioned cloud: only
@@ -439,6 +448,11 @@ class Cloud:
         strategy.bind(self)
         self.scheme = strategy.scheme
         self.vectorized = vectorized
+        if train_batch < 1:
+            raise ConfigurationError(
+                f"train_batch must be >= 1, got {train_batch}"
+            )
+        self.train_batch = int(train_batch)
         #: Partition runtime when this cloud is one domain of a
         #: partitioned run; ``None`` for the serial build.
         self.partition = partition
@@ -845,6 +859,7 @@ class Cloud:
                 tuple(range(1, spec.aggregate + 1)),
                 spec.source.mean_rate,
                 kind="poisson",
+                batch=self.train_batch,
             )
             mux = self.strategy.attach_bucket(self, ingress, spec)
             if mux is not None:
@@ -1019,6 +1034,7 @@ class CloudBuilder:
         packet_pool: bool = False,
         calendar: bool = True,
         vectorized: bool = False,
+        train_batch: int = 1,
         partitions: int = 1,
         partition_plan=None,
         pdes_mode: str = "process",
@@ -1044,6 +1060,7 @@ class CloudBuilder:
         self.packet_pool = packet_pool
         self.calendar = calendar
         self.vectorized = vectorized
+        self.train_batch = train_batch
         self.partitions = partitions
         self.partition_plan = partition_plan
         self.pdes_mode = pdes_mode
@@ -1085,6 +1102,7 @@ class CloudBuilder:
             packet_pool=self.packet_pool,
             calendar=self.calendar,
             vectorized=self.vectorized,
+            train_batch=self.train_batch,
         )
         cloud.add_flows(self._flows)
         if finalize:
@@ -1114,6 +1132,7 @@ class CloudBuilder:
             packet_pool=self.packet_pool,
             calendar=self.calendar,
             vectorized=self.vectorized,
+            train_batch=self.train_batch,
         )
 
     def run(

@@ -79,6 +79,7 @@ class BaseNetwork(Cloud):
         topology_spec: Optional[TopologySpec] = None,
         config=None,
         vectorized: bool = False,
+        train_batch: int = 1,
     ) -> None:
         """``queue_factory`` overrides the default 40-packet drop-tail
         buffer on every link (used by the AQM ablations to swap in RED or
@@ -120,6 +121,7 @@ class BaseNetwork(Cloud):
             queue_factory=queue_factory,
             control_loss_prob=control_loss_prob,
             vectorized=vectorized,
+            train_batch=train_batch,
         )
         # Historical attribute: the uniform chain capacity kwarg, kept
         # even when a graph/spec ignores it.

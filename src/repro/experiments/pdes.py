@@ -170,6 +170,7 @@ class _PartitionWorker:
         self.packet_pool: bool = payload["packet_pool"]
         self.calendar: bool = payload["calendar"]
         self.vectorized: bool = payload["vectorized"]
+        self.train_batch: int = payload.get("train_batch", 1)
         self.queue_factory = payload["queue_factory"]
         self._local = frozenset(self.plan.cores_of(self.index))
         self.cloud: Optional[Cloud] = None
@@ -193,6 +194,7 @@ class _PartitionWorker:
             packet_pool=self.packet_pool,
             calendar=self.calendar,
             vectorized=self.vectorized,
+            train_batch=self.train_batch,
             partition=self,
         )
         self.cloud.add_flows(self.flows)
@@ -607,6 +609,7 @@ class ParallelCloud:
         packet_pool: bool = False,
         calendar: bool = True,
         vectorized: bool = False,
+        train_batch: int = 1,
     ) -> None:
         if scheme not in SCHEME_STRATEGIES:
             raise ConfigurationError(
@@ -664,6 +667,7 @@ class ParallelCloud:
         self.packet_pool = packet_pool
         self.calendar = calendar
         self.vectorized = vectorized
+        self.train_batch = train_batch
         #: Conservative window: min cut-link propagation delay (``inf``
         #: when no link crosses the cut — one barrier spans the run).
         self.window = plan.window(spec)
@@ -696,6 +700,7 @@ class ParallelCloud:
                 "packet_pool": self.packet_pool,
                 "calendar": self.calendar,
                 "vectorized": self.vectorized,
+                "train_batch": self.train_batch,
                 "queue_factory": self.queue_factory,
             }
             for index in range(self.plan.num_partitions)

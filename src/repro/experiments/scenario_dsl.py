@@ -41,8 +41,11 @@ classic way to benchmark the wrong thing).
 
 Scale knobs: a top-level ``"vectorized": true`` opts the edges into the
 array-backed control plane (statistically equivalent, not byte-identical
-— see docs/REPRODUCING.md), and a per-flow ``"aggregate": N`` makes one
-flow entry stand for a bucket of N identical member flows.
+— see docs/REPRODUCING.md), a top-level ``"train": K`` opts the datapath
+into packet trains of up to K members (also statistically pinned; the
+default ``train: 1`` is byte-identical), and a per-flow
+``"aggregate": N`` makes one flow entry stand for a bucket of N
+identical member flows.
 """
 
 from __future__ import annotations
@@ -75,7 +78,7 @@ _SCHEMES = {
 
 _TOP_KEYS = {"scheme", "seed", "duration", "sample_interval", "record_queues",
              "network", "topology", "config", "flows", "description",
-             "vectorized"}
+             "vectorized", "train"}
 _NETWORK_KEYS = {"num_cores", "core_capacity_pps", "access_capacity_pps",
                  "prop_delay", "queue_capacity", "control_loss_prob",
                  "core_links"}
@@ -183,6 +186,7 @@ def build_network(scenario: Mapping) -> BaseNetwork:
     kwargs = dict(network_raw)
     kwargs["seed"] = int(scenario.get("seed", 0))
     kwargs["vectorized"] = bool(scenario.get("vectorized", False))
+    kwargs["train_batch"] = int(scenario.get("train", 1))
     if config is not None:
         kwargs["config"] = config
     net = cls(**kwargs)  # type: ignore[arg-type]

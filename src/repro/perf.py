@@ -49,6 +49,7 @@ __all__ = [
     "run_suite",
     "diff_reports",
     "load_report",
+    "profile_summary",
     "format_report_table",
     "format_diff_table",
 ]
@@ -249,6 +250,7 @@ def _flow_scaling_cloud(
     calendar: bool = True,
     vectorized: bool = False,
     aggregate: int = 1,
+    train_batch: int = 1,
 ):
     """A 2-core chain with ``flows`` backlogged flows crossing it.
 
@@ -264,7 +266,9 @@ def _flow_scaling_cloud(
     ``aggregate`` folds every ``aggregate`` member flows into one
     aggregated bucket (``flows`` must divide evenly), keeping the same
     total weight profile: bucket ``b`` carries the weight class
-    ``1 + (b % 4)`` for all of its members.
+    ``1 + (b % 4)`` for all of its members.  ``train_batch`` opts the
+    shapers into the packet-train datapath (statistically pinned, not
+    byte-identical — see ARCHITECTURE's "Train datapath").
     """
     from repro.experiments.builder import CloudBuilder
     from repro.experiments.topospec import FlowPathSpec, TopologySpec
@@ -283,6 +287,7 @@ def _flow_scaling_cloud(
         packet_pool=packet_pool,
         calendar=calendar,
         vectorized=vectorized,
+        train_batch=train_batch,
     )
     for fid in range(1, flows // aggregate + 1):
         builder.add_flow(
@@ -303,6 +308,7 @@ def _bench_flow_scaling(
     flows: int = 512,
     vectorized: bool = False,
     aggregate: int = 1,
+    train_batch: int = 1,
 ) -> Tuple[int, float]:
     """End-to-end pkts/s with a dense flow population (the PR 5 target).
 
@@ -321,7 +327,11 @@ def _bench_flow_scaling(
     del scale  # see docstring: short horizons sit inside the transient
     horizon = 8.0
     cloud = _flow_scaling_cloud(
-        scheme, flows, vectorized=vectorized, aggregate=aggregate
+        scheme,
+        flows,
+        vectorized=vectorized,
+        aggregate=aggregate,
+        train_batch=train_batch,
     )
     started = time.perf_counter()
     result = cloud.run(until=horizon, sample_interval=1.0)
@@ -449,24 +459,34 @@ FLOW_SCALING_POINTS: Tuple[Tuple[str, int], ...] = (
     ("csfq", 4096),
 )
 
-#: Vectorized + aggregated variants: (scheme, flows, aggregate).  The
-#: ``_vec`` rungs carry the same member-flow population as their scalar
-#: namesakes, folded into ``flows / aggregate`` buckets riding the
-#: array-backed control plane — the PR 7 configuration under test.
-FLOW_SCALING_VEC_POINTS: Tuple[Tuple[str, int, int], ...] = (
-    ("corelite", 1024, 256),
-    ("corelite", 4096, 256),
-    ("csfq", 1024, 256),
-    ("csfq", 4096, 256),
+#: Train batch the corelite vectorized/large rungs run with.  K=8 keeps
+#: the coalescing burstiness small enough that delivered counts stay
+#: within ~5% of the scalar datapath at the 4096 point while the
+#: packets-per-second rate clears the PR 9 acceptance targets severalfold.
+#: CSFQ rungs stay scalar: a CSFQ core splits every train at admission
+#: (the drop coin and relabel are per-packet end to end), so trains buy
+#: little there while shifting the drop statistics at bench loads.
+TRAIN_RUNG_BATCH = 8
+
+#: Vectorized + aggregated variants: (scheme, flows, aggregate, train).
+#: The ``_vec`` rungs carry the same member-flow population as their
+#: scalar namesakes, folded into ``flows / aggregate`` buckets riding the
+#: array-backed control plane — the PR 7 configuration under test — with
+#: the corelite rungs additionally riding the PR 9 train datapath.
+FLOW_SCALING_VEC_POINTS: Tuple[Tuple[str, int, int, int], ...] = (
+    ("corelite", 1024, 256, TRAIN_RUNG_BATCH),
+    ("corelite", 4096, 256, TRAIN_RUNG_BATCH),
+    ("csfq", 1024, 256, 1),
+    ("csfq", 4096, 256, 1),
 )
 
 #: 16384-member rungs are vectorized + aggregated *by construction* (no
 #: ``_vec`` suffix): building 32k+ per-flow edge objects and their routes
 #: is infeasible at bench timescales, which is precisely the regime the
 #: aggregated mode exists for.
-FLOW_SCALING_LARGE_POINTS: Tuple[Tuple[str, int, int], ...] = (
-    ("corelite", 16384, 256),
-    ("csfq", 16384, 256),
+FLOW_SCALING_LARGE_POINTS: Tuple[Tuple[str, int, int, int], ...] = (
+    ("corelite", 16384, 256, TRAIN_RUNG_BATCH),
+    ("csfq", 16384, 256, 1),
 )
 
 # Registration order is suite run order, and it matters: the scalar
@@ -480,7 +500,7 @@ for _scheme, _flows in FLOW_SCALING_POINTS:
             functools.partial(_bench_flow_scaling, scheme=_scheme, flows=_flows),
             "packets",
         )
-for _scheme, _flows, _agg in FLOW_SCALING_VEC_POINTS:
+for _scheme, _flows, _agg, _train in FLOW_SCALING_VEC_POINTS:
     BENCHES[f"flow_scaling_{_scheme}_{_flows}_vec"] = (
         functools.partial(
             _bench_flow_scaling,
@@ -488,6 +508,7 @@ for _scheme, _flows, _agg in FLOW_SCALING_VEC_POINTS:
             flows=_flows,
             vectorized=True,
             aggregate=_agg,
+            train_batch=_train,
         ),
         "packets",
     )
@@ -518,7 +539,7 @@ for _scheme, _flows in FLOW_SCALING_POINTS:
             functools.partial(_bench_flow_scaling, scheme=_scheme, flows=_flows),
             "packets",
         )
-for _scheme, _flows, _agg in FLOW_SCALING_LARGE_POINTS:
+for _scheme, _flows, _agg, _train in FLOW_SCALING_LARGE_POINTS:
     BENCHES[f"flow_scaling_{_scheme}_{_flows}"] = (
         functools.partial(
             _bench_flow_scaling,
@@ -526,10 +547,11 @@ for _scheme, _flows, _agg in FLOW_SCALING_LARGE_POINTS:
             flows=_flows,
             vectorized=True,
             aggregate=_agg,
+            train_batch=_train,
         ),
         "packets",
     )
-del _scheme, _flows, _agg
+del _scheme, _flows, _agg, _train
 
 #: Per-bench repeat ceilings, applied by :func:`run_suite` on top of its
 #: global repeat count.  The scalar 4096 rungs spend minutes *building*
@@ -537,14 +559,29 @@ del _scheme, _flows, _agg
 #: does not), and the 16384 rungs move ~10x the packets of the 1024
 #: ones; without caps the full suite would take hours.
 BENCH_REPEAT_CAPS: Dict[str, int] = {
-    "flow_scaling_corelite_4096": 1,
-    "flow_scaling_csfq_4096": 1,
+    "flow_scaling_corelite_4096": 2,
+    "flow_scaling_csfq_4096": 2,
     "flow_scaling_corelite_16384": 2,
     "flow_scaling_csfq_16384": 2,
     "flow_scaling_corelite_1024_pdes_serial": 2,
     "flow_scaling_corelite_1024_pdes_w2": 2,
     "flow_scaling_corelite_1024_pdes_w4": 2,
 }
+
+#: Rungs matching this prefix feed the CI flow-scale regression gate, so
+#: a committed report must never carry a single-repeat (variance-free)
+#: median for them: :func:`run_suite` floors their repeat count at
+#: :data:`MIN_GATED_REPEATS` regardless of caps or ``--repeats``.
+GATED_BENCH_PREFIX = "flow_scaling_"
+MIN_GATED_REPEATS = 2
+
+for _name, _cap in BENCH_REPEAT_CAPS.items():
+    if _name.startswith(GATED_BENCH_PREFIX) and _cap < MIN_GATED_REPEATS:
+        raise ConfigurationError(
+            f"BENCH_REPEAT_CAPS[{_name!r}] = {_cap}: gated rungs need "
+            f">= {MIN_GATED_REPEATS} repeats"
+        )
+del _name, _cap
 
 #: Benches too heavy for quick (CI smoke) mode.  ``flow_scaling_corelite_16384``
 #: is deliberately *not* here: CI runs it as the many-flow smoke rung.
@@ -576,6 +613,7 @@ class BenchResult:
     median_s: float
     best_s: float
     repeats: int
+    timings_s: List[float] = field(default_factory=list)
 
     @property
     def rate(self) -> float:
@@ -591,6 +629,7 @@ class BenchResult:
             "median_s": self.median_s,
             "best_s": self.best_s,
             "repeats": self.repeats,
+            "timings_s": list(self.timings_s),
             "units_per_sec": self.rate,
         }
 
@@ -606,9 +645,12 @@ class BenchReport:
     peak_rss_kb: int
     events_per_sec: float  # the scenario bench's simulated-events rate
     skipped: List[str] = field(default_factory=list)
+    #: Optional cProfile snapshot (see :func:`profile_summary`) so a
+    #: committed report doubles as a profiling trajectory point.
+    profile: Optional[Dict] = None
 
     def as_dict(self) -> Dict:
-        return {
+        payload = {
             "schema": SCHEMA,
             "label": self.label,
             "quick": self.quick,
@@ -621,11 +663,44 @@ class BenchReport:
             "skipped": list(self.skipped),
             "benches": {name: r.as_dict() for name, r in self.benches.items()},
         }
+        if self.profile is not None:
+            payload["profile"] = self.profile
+        return payload
 
     def write(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(self.as_dict(), fh, indent=2, sort_keys=True)
             fh.write("\n")
+
+
+def profile_summary(profile, top: int = 20) -> Dict:
+    """The top-``top`` cumulative-time entries of a cProfile run, as a
+    JSON-ready payload for embedding in a :class:`BenchReport`.
+
+    Committed ``BENCH_<label>.json`` files carrying this section double
+    as profiling snapshots: the perf trajectory then records not just
+    *how fast* each revision was but *where the time went*.
+    """
+    import pstats
+
+    stats = pstats.Stats(profile)
+    entries = []
+    ranked = sorted(
+        stats.stats.items(), key=lambda item: item[1][3], reverse=True
+    )
+    for func, (cc, nc, tt, ct, _callers) in ranked[:top]:
+        filename, line, name = func
+        entries.append(
+            {
+                "function": name,
+                "location": f"{filename}:{line}",
+                "ncalls": nc,
+                "primitive_calls": cc,
+                "tottime_s": round(tt, 6),
+                "cumtime_s": round(ct, 6),
+            }
+        )
+    return {"sort": "cumulative", "top": top, "entries": entries}
 
 
 def _peak_rss_kb() -> int:
@@ -659,15 +734,16 @@ def run_bench(
     for _ in range(repeats):
         units, elapsed = fn(scale, **kwargs) if kwargs else fn(scale)
         timings.append(elapsed)
-    timings.sort()
-    median = timings[len(timings) // 2]
+    ordered = sorted(timings)
+    median = ordered[len(ordered) // 2]
     return BenchResult(
         name=name,
         unit=unit,
         units=units,
         median_s=median,
-        best_s=timings[0],
+        best_s=ordered[0],
         repeats=repeats,
+        timings_s=timings,  # chronological, so warm-up drift stays visible
     )
 
 
@@ -676,6 +752,7 @@ def run_suite(
     quick: bool = False,
     repeats: Optional[int] = None,
     pool: bool = False,
+    train_batch: Optional[int] = None,
     log: Optional[Callable[[str], None]] = None,
 ) -> BenchReport:
     """Run the full suite and return its report.
@@ -684,17 +761,34 @@ def run_suite(
     family, whose horizon is fixed so quick reports stay comparable to
     full-mode baselines; ``pool`` runs the scenario
     bench with the packet free-list pool enabled so its effect lands in
-    the trajectory.  Benches that probe for features the current revision
-    lacks are recorded under ``skipped`` instead of failing, which is
-    what lets one suite binary produce comparable before/after reports.
+    the trajectory.  ``train_batch`` overrides the per-rung train batch
+    of every serial ``flow_scaling`` rung (``1`` forces the scalar
+    datapath — how the interleaved ``_base`` half of a before/after pair
+    is produced on one build).  Benches that probe for features the
+    current revision lacks are recorded under ``skipped`` instead of
+    failing, which is what lets one suite binary produce comparable
+    before/after reports.
     """
     scale = 0.2 if quick else 1.0
     if repeats is None:
         repeats = 3 if quick else 5
+    if train_batch is not None and train_batch < 1:
+        raise ConfigurationError(
+            f"train_batch override must be >= 1, got {train_batch}"
+        )
 
     def run_or_skip(name: str) -> Optional[BenchResult]:
         kwargs = {"pool": pool} if name == "scenario_chain4" and pool else {}
+        if (
+            train_batch is not None
+            and name.startswith(GATED_BENCH_PREFIX)
+            and "_pdes_" not in name
+        ):
+            kwargs["train_batch"] = train_batch
         reps = min(repeats, BENCH_REPEAT_CAPS.get(name, repeats))
+        if name.startswith(GATED_BENCH_PREFIX):
+            # CI-gated rungs never land with a variance-free median.
+            reps = max(reps, MIN_GATED_REPEATS)
         try:
             return run_bench(name, scale=scale, repeats=reps, **kwargs)
         except NotImplementedError:
@@ -719,7 +813,8 @@ def run_suite(
         if log is not None:
             log(
                 f"  {name}: {result.rate:,.0f} {result.unit}/s "
-                f"(median {result.median_s * 1e3:.1f} ms over {repeats} runs)"
+                f"(median {result.median_s * 1e3:.1f} ms over "
+                f"{result.repeats} runs)"
             )
     wall = time.perf_counter() - started
     scenario = results.get("scenario_chain4")
@@ -768,32 +863,53 @@ def load_report(path: str) -> Dict:
 
 
 def diff_reports(
-    current: Dict, baseline: Dict, threshold: float = 0.30
+    current: Dict,
+    baseline: Dict,
+    threshold: float = 0.30,
+    warn: Optional[Callable[[str], None]] = None,
 ) -> Tuple[List[BenchRegression], List[BenchRegression]]:
     """Compare two report payloads bench by bench.
 
     Returns ``(regressions, improvements)``: a regression is a common
     bench whose units/sec dropped by more than ``threshold`` (a
     fraction); an improvement is any common bench that got faster.
-    Benches present on only one side are ignored — that is what keeps
-    before/after pairs spanning a feature's introduction comparable.
+    Benches present on only one side — a rung added or retired by the
+    PR under test — are skipped with a ``warn`` callback note rather
+    than an error, which is what keeps before/after pairs spanning a
+    feature's introduction comparable; the same applies to entries
+    whose ``units_per_sec`` is missing or malformed (a hand-edited or
+    pre-schema report).
     """
     if not 0.0 < threshold < 1.0:
         raise ConfigurationError(
             f"threshold must be a fraction in (0, 1), got {threshold}"
         )
+
+    def _warn(message: str) -> None:
+        if warn is not None:
+            warn(message)
+
     regressions: List[BenchRegression] = []
     improvements: List[BenchRegression] = []
     cur_benches = current.get("benches", {})
     base_benches = baseline.get("benches", {})
+    for name in sorted(set(cur_benches) ^ set(base_benches)):
+        side = "current" if name in cur_benches else "baseline"
+        _warn(f"{name}: only in the {side} report; skipped")
     for name in sorted(set(cur_benches) & set(base_benches)):
         cur = cur_benches[name]
         base = base_benches[name]
+        try:
+            baseline_rate = float(base["units_per_sec"])
+            current_rate = float(cur["units_per_sec"])
+        except (KeyError, TypeError, ValueError):
+            _warn(f"{name}: units_per_sec missing or malformed; skipped")
+            continue
         entry = BenchRegression(
             name=name,
             unit=cur.get("unit", "units"),
-            baseline_rate=float(base["units_per_sec"]),
-            current_rate=float(cur["units_per_sec"]),
+            baseline_rate=baseline_rate,
+            current_rate=current_rate,
         )
         if entry.ratio < 1.0 - threshold:
             regressions.append(entry)

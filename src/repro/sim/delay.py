@@ -57,6 +57,53 @@ class DelayTracker:
             if slot < self._capacity:
                 self._reservoir[slot] = delay
 
+    def record_many(self, delay: float, n: int) -> None:
+        """Record ``n`` identical delay samples (train members without
+        per-member timing information)."""
+        for _ in range(n):
+            self.record(delay)
+
+    def record_train(self, base: float, lags) -> None:
+        """Record one sample per train member: ``base - lags[i]``.
+
+        ``lags`` is the train's per-member delivery lag array (descending,
+        computed by the last link hop), so the samples reconstruct the
+        scalar-spaced arrival times.  Moments are accumulated with
+        vectorized NumPy ops; the reservoir is fed per member with the
+        same Vitter-R decisions :meth:`record` would make.
+        """
+        delays = base - lags
+        lo = float(delays[0])
+        if lo < 0.0:  # degenerate timing (clock skew in tests): go scalar
+            for d in delays.tolist():
+                self.record(max(0.0, d))
+            return
+        n = len(delays)
+        self.count += n
+        self.total += float(delays.sum())
+        self.total_sq += float((delays * delays).sum())
+        hi = float(delays[-1])
+        if lo < self.min:
+            self.min = lo
+        if hi > self.max:
+            self.max = hi
+        cap = self._capacity
+        if cap == 0:
+            return
+        reservoir = self._reservoir
+        items = delays.tolist()
+        room = cap - len(reservoir)
+        if room > 0:
+            reservoir.extend(items[:room])
+            items = items[room:]
+        if items:
+            randrange = self._rng.randrange
+            seen_before = self.count - len(items)
+            for i, d in enumerate(items):
+                slot = randrange(seen_before + i + 1)
+                if slot < cap:
+                    reservoir[slot] = d
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0

@@ -257,10 +257,30 @@ class ArrayPacedSender(PacedSender):
 
     __slots__ = ("bank", "slot")
 
-    def __init__(self, bank: FlowArrayBank, slot: int, sim, rate, emit, burst=1.0):
+    def __init__(
+        self,
+        bank: FlowArrayBank,
+        slot: int,
+        sim,
+        rate,
+        emit,
+        burst=1.0,
+        train_batch: int = 1,
+        train_emit=None,
+        train_horizon: float | None = None,
+    ):
         self.bank = bank
         self.slot = slot
-        super().__init__(sim, rate, emit, burst=burst)
+        train_kwargs = {} if train_horizon is None else {"train_horizon": train_horizon}
+        super().__init__(
+            sim,
+            rate,
+            emit,
+            burst=burst,
+            train_batch=train_batch,
+            train_emit=train_emit,
+            **train_kwargs,
+        )
         bank.shaper_rate[slot] = self._rate
         bank.shaper_credit[slot] = self._credit
 

@@ -24,6 +24,18 @@ iterates an empty listener list.  Installing a tap rebinds the instance
 attribute to the tapped variant.  Taps must therefore be installed before
 traffic flows (monitors and tracers attach at build time).
 
+Trains
+------
+A :class:`~repro.sim.packet.PacketTrain` (opt-in ``train_batch`` datapath)
+traverses a plain-FIFO link as **one** packet whose size is the member
+count: occupancy, admission and serialization charge the whole train in a
+single arithmetic step, and one delivery event carries all members.
+Per-member counters charge ``packet.count``.  Any path that needs
+per-packet decisions splits the train into its scalar members first:
+bypass-free queues (WFQ/RED/FRED/DECbit), arrival taps (CSFQ's
+probabilistic drop), dynamics-enabled links (failure drop taxonomy +
+reroutes), and boundary links (partition cuts serialize scalars).
+
 Dynamics
 --------
 A link that appears in a :class:`~repro.sim.dynamics.NetworkEvent`
@@ -49,6 +61,27 @@ from repro.sim.queues import FifoQueue
 __all__ = ["Link", "BoundaryLink"]
 
 DropListener = Callable[[Packet, float], None]
+
+#: Lazily-bound ``numpy.arange`` (the scalar datapath never imports numpy;
+#: the first train through a link binds it).
+_np_arange = None
+
+
+def _member_lags(count: int, bandwidth_pps: float):
+    """Per-member delivery lags for a train serialized at ``bandwidth_pps``.
+
+    Member ``i`` of a train finishes serialization ``(count - 1 - i) / bw``
+    seconds *before* the train's single delivery event fires; the egress
+    subtracts these lags so per-member delay stats keep the scalar
+    spacing of the last hop.  Computed with NumPy per the train contract
+    (one vectorized op instead of ``count`` Python subtractions).
+    """
+    global _np_arange
+    if _np_arange is None:
+        from numpy import arange
+
+        _np_arange = arange
+    return _np_arange(count - 1, -1, -1, dtype=float) / bandwidth_pps
 
 
 class Link:
@@ -168,6 +201,17 @@ class Link:
         if self._dynamic:
             return
         self._dynamic = True
+        # Dynamic links split trains: the failure drop taxonomy (queue
+        # flush / in-flight stranding / send-while-down) and reroute
+        # decisions are per-packet semantics.  (Compare the underlying
+        # functions — ``self._send_fast`` materializes a fresh bound
+        # method on every attribute access, so an ``is`` check against it
+        # can never be true.)
+        if getattr(self._send_base, "__func__", None) is Link._send_fast:
+            rebind_send = self.send is self._send_base
+            self._send_base = self._send_fast_dynamic
+            if rebind_send:
+                self.send = self._send_base
         self._rebind_deliver()
 
     def _rebind_deliver(self) -> None:
@@ -187,7 +231,7 @@ class Link:
         def deliver_checked(packet: Packet) -> None:
             if self._gen != gen:
                 if packet.size > 0.0:
-                    self.inflight_drops += 1
+                    self.inflight_drops += packet.count
                 return
             base(packet)
 
@@ -222,9 +266,9 @@ class Link:
                 break
             if packet.size > 0.0:
                 # Re-book the pop as a drop: the packet never transmitted.
-                stats.dequeued_data -= 1
-                stats.dropped_data += 1
-                flushed += 1
+                stats.dequeued_data -= packet.count
+                stats.dropped_data += packet.count
+                flushed += packet.count
                 for listener in self._drop_listeners:
                     listener(packet, now)
         # The interrupted serialization (if any) belongs to a stranded
@@ -249,7 +293,7 @@ class Link:
     def _send_down(self, packet: Packet) -> bool:
         """``send`` while failed: refuse everything deterministically."""
         if packet.size > 0.0:
-            self.failure_drops += 1
+            self.failure_drops += packet.count
             now = self.sim.now
             for listener in self._drop_listeners:
                 listener(packet, now)
@@ -281,13 +325,14 @@ class Link:
                 stats.enqueued_control += 1
                 sim.schedule_at_fast(now + self.prop_delay, self._deliver_cb, packet)
                 return True
+            count = packet.count
             if not queue.admit(packet, now):
-                stats.dropped_data += 1
+                stats.dropped_data += count
                 for listener in self._drop_listeners:
                     listener(packet, now)
                 return False
-            stats.enqueued_data += 1
-            stats.dequeued_data += 1
+            stats.enqueued_data += count
+            stats.dequeued_data += count
             if size > stats.peak_occupancy:
                 stats.peak_occupancy = size
             if now > queue._last_time:  # zero-width occupancy spike: the
@@ -296,6 +341,8 @@ class Link:
             self.busy_time += tx
             free_at = now + tx
             self._free_at = free_at
+            if count != 1:
+                packet.member_lags = _member_lags(count, self.bandwidth_pps)
             sim.schedule_at_fast(free_at + self.prop_delay, self._deliver_cb, packet)
             return True
         if packet.size <= 0.0 and not queue._items and not self._wake_pending:
@@ -319,7 +366,11 @@ class Link:
 
     def _send_queued(self, packet: Packet) -> bool:
         """Bypass-free ``send`` for queues with custom push/pop semantics:
-        every packet goes through the discipline's own enqueue/dequeue."""
+        every packet goes through the discipline's own enqueue/dequeue.
+        Non-FIFO disciplines make per-packet decisions, so trains split
+        into scalar members here."""
+        if packet.count != 1:
+            return self._send_split(packet, self._send_queued)
         now = self.sim.now
         if not self.queue.push(packet, now):
             for listener in self._drop_listeners:
@@ -333,12 +384,35 @@ class Link:
         return True
 
     def _send_tapped(self, packet: Packet) -> bool:
-        """Tap-aware ``send`` variant (bound once an arrival tap exists)."""
+        """Tap-aware ``send`` variant (bound once an arrival tap exists).
+        Arrival taps decide per packet (CSFQ's probabilistic drop), so
+        trains split before the taps run."""
+        if packet.count != 1:
+            return self._send_split(packet, self._send_tapped)
         now = self.sim.now
         for tap in self._arrival_taps:
             if tap(packet, now):
                 return False
         return self._send_base(packet)
+
+    def _send_fast_dynamic(self, packet: Packet) -> bool:
+        """``_send_fast`` with a train split in front (dynamic links)."""
+        if packet.count != 1:
+            return self._send_split(packet, self._send_fast)
+        return self._send_fast(packet)
+
+    def _send_split(self, train: Packet, send: Callable[[Packet], bool]) -> bool:
+        """Split ``train`` and offer every member through ``send``.
+
+        Returns True iff every member was accepted (matching the
+        all-or-nothing contract loosely: callers only use the boolean for
+        logging; drops are fully accounted by the per-member path).
+        """
+        accepted = True
+        for member in train.split(self.sim):
+            if not send(member):
+                accepted = False
+        return accepted
 
     def _transmit_from(self, start: float) -> None:
         """Pop and serialize starting at ``start`` (transmitter is free)."""
@@ -361,6 +435,8 @@ class Link:
             if len(queue) and not self._wake_pending:
                 self._wake_pending = True
                 schedule_at(free_at, self._wake)
+            if packet.count != 1:
+                packet.member_lags = _member_lags(packet.count, self.bandwidth_pps)
             schedule_at(free_at + prop, self._deliver_cb, packet)
             return
 
@@ -377,14 +453,14 @@ class Link:
 
     def _deliver_fast(self, packet: Packet) -> None:
         if packet.size > 0.0:
-            self.delivered_data += 1
+            self.delivered_data += packet.count
         else:
             self.delivered_control += 1
         self.dst.receive(packet, self)
 
     def _deliver_tapped(self, packet: Packet) -> None:
         if packet.size > 0.0:
-            self.delivered_data += 1
+            self.delivered_data += packet.count
         else:
             self.delivered_control += 1
         now = self.sim.now
@@ -507,6 +583,6 @@ class BoundaryLink(Link):
             if len(queue) and not self._wake_pending:
                 self._wake_pending = True
                 self.sim.schedule_at_fast(free_at, self._wake)
-            self.delivered_data += 1
+            self.delivered_data += packet.count
             emit(free_at + prop, packet)
             return

@@ -26,7 +26,7 @@ from typing import TYPE_CHECKING, Optional
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Simulator
 
-__all__ = ["Packet", "PacketKind", "PacketPool"]
+__all__ = ["Packet", "PacketKind", "PacketPool", "PacketTrain"]
 
 #: Fallback id source for packets built without a simulator (unit tests,
 #: interactive probing).  Components always pass ``sim=`` so that packet
@@ -96,6 +96,19 @@ class Packet:
         "ecn",
         "micro_id",
     )
+
+    #: Number of data packets this object represents.  Plain packets are
+    #: always 1; :class:`PacketTrain` overrides with a per-instance slot.
+    #: Counters on the datapath charge ``packet.count`` so that trains and
+    #: scalars share one bookkeeping path (``+= packet.count`` is
+    #: ``+= 1`` for every non-train packet, preserving byte-identity).
+    count = 1
+
+    #: Number of piggybacked Corelite markers carried by a marker-bearing
+    #: packet (``origin_edge is not None``).  Scalar merged-marker packets
+    #: always carry exactly one; trains may carry several.  Only read when
+    #: ``origin_edge`` is set.
+    marker_count = 1
 
     def __init__(
         self,
@@ -220,6 +233,136 @@ class Packet:
         )
 
 
+class PacketTrain(Packet):
+    """A train of ``n`` back-to-back DATA packets of one flow (opt-in).
+
+    The train datapath coalesces consecutive departures of the same
+    edge-to-edge flow into a single simulator event per hop.  A train *is*
+    a :class:`Packet` whose ``size`` equals the member count, so every
+    plain-FIFO arithmetic path — queue occupancy, drop-tail admission,
+    link serialization time ``size / bandwidth`` — charges the whole train
+    in one step without knowing about trains.  Per-member bookkeeping
+    (delivered counts, drops, marker observations) charges
+    ``packet.count`` instead of the literal ``1``.
+
+    Member layout
+    -------------
+    * ``seq`` is the *head* sequence number; members carry the contiguous
+      range ``seq .. seq + count - 1`` (the egress loss detector uses the
+      head for its gap computation and advances past the tail).
+    * ``micro_ids`` optionally holds one micro-flow id per member (for
+      aggregated sources); ``None`` means all members use ``micro_id``.
+    * ``marker_count`` piggybacked markers ride on the train when
+      ``origin_edge`` is set; on a split they attach to the first
+      ``marker_count`` members.
+    * ``created_at`` is shared: train members are emitted back-to-back at
+      one shaper firing.
+
+    Trains only ever exist on the opt-in ``train_batch > 1`` datapath and
+    are pinned *statistically* (Jain ratio, per-flow rates), never
+    byte-identically — splitting and bulk charging reorder work relative
+    to the scalar schedule.
+    """
+
+    __slots__ = ("count", "marker_count", "micro_ids", "member_lags", "member_labels")
+
+    def __init__(
+        self,
+        flow_id: int,
+        src: str,
+        dst: str,
+        first_seq: int,
+        n: int,
+        created_at: float,
+        label: float = 0.0,
+        sim: Optional["Simulator"] = None,
+    ) -> None:
+        super().__init__(
+            PacketKind.DATA,
+            flow_id,
+            src,
+            dst,
+            size=float(n),
+            seq=first_seq,
+            label=label,
+            created_at=created_at,
+            sim=sim,
+        )
+        self.count = n
+        self.marker_count = 0
+        self.micro_ids: Optional[tuple] = None
+        #: Per-member delivery lags (NumPy array), written by the last
+        #: link hop so the egress can reconstruct scalar-spaced arrival
+        #: times for per-member delay stats.  ``None`` until transmitted.
+        self.member_lags = None
+        #: Per-member CSFQ labels (the scalar estimator's label ladder);
+        #: ``None`` means every member shares ``label`` on a split.
+        self.member_labels: Optional[tuple] = None
+
+    @classmethod
+    def build(
+        cls,
+        flow_id: int,
+        src: str,
+        dst: str,
+        first_seq: int,
+        n: int,
+        now: float,
+        label: float = 0.0,
+        sim: Optional["Simulator"] = None,
+    ) -> "PacketTrain":
+        """Create a train of ``n`` DATA packets (pool-aware)."""
+        if sim is not None and sim.packet_pool is not None:
+            return sim.packet_pool.acquire_train(
+                flow_id, src, dst, first_seq, n, label, now, sim
+            )
+        return cls(flow_id, src, dst, first_seq, n, created_at=now, label=label, sim=sim)
+
+    def split(self, sim: Optional["Simulator"] = None) -> list:
+        """Materialize the scalar member packets and retire the train.
+
+        Called at any boundary that needs per-packet decisions (non-FIFO
+        queues, arrival taps, dynamic links, partition cuts).  Markers
+        attach to the first ``marker_count`` members; a label on a
+        markerless train (the CSFQ per-packet rate estimate) is copied to
+        every member.  The train itself is returned to the packet pool —
+        the caller must drop its reference afterwards.
+        """
+        head = self.seq
+        created = self.created_at
+        label = self.label
+        origin = self.origin_edge
+        markers = self.marker_count if origin is not None else 0
+        micro_ids = self.micro_ids
+        member_labels = self.member_labels
+        label_all = origin is None
+        members = []
+        for i in range(self.count):
+            if member_labels is not None:
+                member_label = member_labels[i]
+            else:
+                member_label = label if (label_all or i < markers) else 0.0
+            pkt = Packet.data(
+                self.flow_id, self.src, self.dst, head + i, created,
+                label=member_label, sim=sim,
+            )
+            if i < markers:
+                pkt.origin_edge = origin
+            if micro_ids is not None:
+                pkt.micro_id = micro_ids[i]
+            members.append(pkt)
+        if sim is not None and sim.packet_pool is not None:
+            sim.packet_pool.release(self)
+        return members
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PacketTrain(#{self.pid} flow={self.flow_id} n={self.count} "
+            f"seq={self.seq}..{self.seq + self.count - 1} "
+            f"{self.src}->{self.dst})"
+        )
+
+
 class PacketPool:
     """Opt-in free list of :class:`Packet` objects.
 
@@ -241,13 +384,17 @@ class PacketPool:
     Packets that are dropped or never released are simply garbage-collected.
     """
 
-    __slots__ = ("max_size", "_free", "allocated", "reused", "released")
+    __slots__ = ("max_size", "_free", "_free_trains", "allocated", "reused", "released")
 
     def __init__(self, max_size: int = 4096) -> None:
         if max_size < 1:
             raise ValueError(f"pool max_size must be >= 1, got {max_size}")
         self.max_size = max_size
         self._free: list = []
+        #: Separate free list for :class:`PacketTrain` objects — trains and
+        #: scalars must never swap classes on reuse, so each class recycles
+        #: through its own list.
+        self._free_trains: list = []
         #: Pool misses: packets freshly constructed because the list was empty.
         self.allocated = 0
         #: Pool hits: packets recycled from the free list.
@@ -301,11 +448,55 @@ class PacketPool:
         packet.micro_id = 0
         return packet
 
+    def acquire_train(
+        self,
+        flow_id: int,
+        src: str,
+        dst: str,
+        first_seq: int,
+        n: int,
+        label: float,
+        created_at: float,
+        sim: "Simulator",
+    ) -> PacketTrain:
+        """Take a recycled train (or build one) and fully reinitialize it."""
+        free = self._free_trains
+        if not free:
+            self.allocated += 1
+            return PacketTrain(
+                flow_id, src, dst, first_seq, n, created_at=created_at,
+                label=label, sim=sim,
+            )
+        self.reused += 1
+        train = free.pop()
+        train.pid = sim.next_packet_id()
+        train.kind = PacketKind.DATA
+        train.flow_id = flow_id
+        train.size = float(n)
+        train.seq = first_seq
+        train.src = src
+        train.dst = dst
+        train.origin_edge = None
+        train.label = label
+        train.feedback_from = None
+        train.created_at = created_at
+        train.ecn = False
+        train.micro_id = 0
+        train.count = n
+        train.marker_count = 0
+        train.micro_ids = None
+        train.member_lags = None
+        train.member_labels = None
+        return train
+
     def release(self, packet: Packet) -> None:
         """Return a packet whose journey ended; caller must drop its reference."""
         self.released += 1
-        if len(self._free) < self.max_size:
-            self._free.append(packet)
+        if type(packet) is Packet:
+            if len(self._free) < self.max_size:
+                self._free.append(packet)
+        elif len(self._free_trains) < self.max_size:
+            self._free_trains.append(packet)
 
     def __len__(self) -> int:
-        return len(self._free)
+        return len(self._free) + len(self._free_trains)

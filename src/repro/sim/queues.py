@@ -137,12 +137,14 @@ class FifoQueue:
             self.stats.enqueued_control += 1
             return True
         if not self.admit(packet, now):
-            self.stats.dropped_data += 1
+            # ``packet.count`` is 1 for every plain packet; a PacketTrain
+            # charges all its members in one step (size == count).
+            self.stats.dropped_data += packet.count
             return False
         self._advance(now)
         self._items.append(packet)
         self._occupancy += packet.size
-        self.stats.enqueued_data += 1
+        self.stats.enqueued_data += packet.count
         if self._occupancy > self.stats.peak_occupancy:
             self.stats.peak_occupancy = self._occupancy
         return True
@@ -155,7 +157,7 @@ class FifoQueue:
         if packet.size > 0.0:
             self._advance(now)
             self._occupancy -= packet.size
-            self.stats.dequeued_data += 1
+            self.stats.dequeued_data += packet.count
         return packet
 
     @property

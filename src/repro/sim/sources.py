@@ -223,6 +223,15 @@ class PacedAggregateSource(SourceModel):
     Deposits go through a two-argument callable ``(member_id, n)`` —
     typically ``MicroFlowMux.deposit`` — so per-member accounting
     survives aggregation.
+
+    ``batch = B > 1`` (the train datapath's source-side twin) coalesces
+    B consecutive arrivals into one timer firing: the gap is the *sum*
+    of B member gaps (an Erlang-B draw for ``poisson``; ``B`` fixed gaps
+    for ``paced``), and the B member attributions are deposited together
+    as per-member counts.  Arrival times within the batch collapse to
+    the batch instant — a statistical approximation matched to the
+    downstream shaper's train horizon, never used on the byte-pinned
+    default path (``batch=1`` is untouched).
     """
 
     def __init__(
@@ -230,6 +239,7 @@ class PacedAggregateSource(SourceModel):
         member_ids: tuple,
         member_rate: float,
         kind: str = "paced",
+        batch: int = 1,
     ) -> None:
         super().__init__()
         if not member_ids:
@@ -240,9 +250,12 @@ class PacedAggregateSource(SourceModel):
             )
         if kind not in ("paced", "poisson"):
             raise ConfigurationError(f"unknown aggregate kind {kind!r}")
+        if batch < 1:
+            raise ConfigurationError(f"batch must be >= 1, got {batch}")
         self.member_ids = tuple(member_ids)
         self.member_rate = member_rate
         self.kind = kind
+        self.batch = int(batch)
         self.aggregate_rate = member_rate * len(self.member_ids)
         self._rr = 0
 
@@ -259,23 +272,57 @@ class PacedAggregateSource(SourceModel):
 
     def _schedule_next(self) -> None:
         assert self._sim is not None and self._rng is not None
+        batch = self.batch
         if self.kind == "poisson":
-            gap = self._rng.expovariate(self.aggregate_rate)
+            if batch == 1:
+                gap = self._rng.expovariate(self.aggregate_rate)
+            else:
+                # Erlang-B: the sum of B exponential member gaps.
+                gap = self._rng.gammavariate(batch, 1.0 / self.aggregate_rate)
         else:
-            gap = 1.0 / self.aggregate_rate
+            gap = batch / self.aggregate_rate
         self._sim.schedule_fast(gap, self._arrive)
 
     def _arrive(self) -> None:
         if not self._running:
             return
+        batch = self.batch
+        if batch == 1:
+            if self.kind == "poisson":
+                assert self._rng is not None
+                member = self.member_ids[self._rng.randrange(len(self.member_ids))]
+            else:
+                member = self.member_ids[self._rr]
+                self._rr = (self._rr + 1) % len(self.member_ids)
+            self._offer_member(member)
+        else:
+            self._arrive_batch(batch)
+        self._schedule_next()
+
+    def _arrive_batch(self, batch: int) -> None:
+        members = self.member_ids
+        m = len(members)
+        counts: dict = {}
         if self.kind == "poisson":
             assert self._rng is not None
-            member = self.member_ids[self._rng.randrange(len(self.member_ids))]
+            randrange = self._rng.randrange
+            for _ in range(batch):
+                member = members[randrange(m)]
+                counts[member] = counts.get(member, 0) + 1
         else:
-            member = self.member_ids[self._rr]
-            self._rr = (self._rr + 1) % len(self.member_ids)
-        self._offer_member(member)
-        self._schedule_next()
+            rr = self._rr
+            for _ in range(batch):
+                member = members[rr]
+                rr += 1
+                if rr == m:
+                    rr = 0
+                counts[member] = counts.get(member, 0) + 1
+            self._rr = rr
+        deposit = self._deposit
+        assert deposit is not None
+        self.packets_offered += batch
+        for member, n in counts.items():
+            deposit(member, n)  # type: ignore[call-arg]
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,380 @@
+"""PR 9 pins: the opt-in packet-train datapath.
+
+Four layers of protection:
+
+* **Shaper cadence** — train mode changes burst *structure*, never the
+  long-run rate: a slow flow (``rate * horizon < 1``) fires at exactly
+  the scalar pacing cadence, and ``set_rate`` cannot materialize phantom
+  tokens out of the K-deep train bucket (both were real bugs: downstream
+  rate estimators read the broken cadences as label spikes).
+* **Split boundaries** — non-plain-FIFO queues (WFQ/RED), dynamic links
+  and failures see scalar members, never whole trains: per-packet
+  decisions stay per-packet.
+* **Pooling** — :class:`PacketPool` recycles whole trains through its
+  own free list (trains and scalars never swap classes) and reinitializes
+  every train-specific slot on reuse.
+* **Equivalence contract** — ``train_batch=1`` replays byte-identical to
+  the pre-train code (fingerprint pins shared with ``test_vectorized``),
+  and train mode holds the statistical pins (Jain ratio within 1%,
+  per-flow delivered within 10%) on chain4 / parking-lot / mesh under
+  both corelite and csfq.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.shaping import PacedSender, TRAIN_HORIZON
+from repro.experiments.builder import CloudBuilder
+from repro.experiments.scenarios import (
+    WEIGHTS_41,
+    mesh_flows,
+    parking_lot_flows,
+    topology1_flows,
+)
+from repro.experiments.topospec import FlowPathSpec, TopologySpec
+from repro.fairness.metrics import jain_index
+from repro.aqm.red import RedQueue
+from repro.aqm.wfq import WfqQueue
+from repro.perf import TRAIN_RUNG_BATCH
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.packet import Packet, PacketPool, PacketTrain
+from repro.sim.queues import DropTailQueue
+
+from .conftest import CollectorNode
+from .test_vectorized import FINGERPRINTS, _run_and_fingerprint
+
+
+# ---------------------------------------------------------------------------
+# Shaper cadence in train mode
+# ---------------------------------------------------------------------------
+
+
+def _train_sender(sim, rate, batch, log):
+    """A train-mode PacedSender whose emissions are appended to ``log``
+    as ``(time, allowance)`` and always fully sent."""
+
+    def train_emit(allowance):
+        log.append((sim.now, allowance))
+        return allowance
+
+    return PacedSender(
+        sim, rate, emit=lambda: True, train_batch=batch, train_emit=train_emit
+    )
+
+
+def test_slow_flow_fires_at_scalar_cadence():
+    """``rate * horizon < 1``: coalescing fades out entirely — singles at
+    exactly the scalar pacing period, not horizon-late lumps."""
+    sim = Simulator()
+    log = []
+    sender = _train_sender(sim, rate=4.0, batch=8, log=log)
+    sender.start()
+    sim.run(until=1.01)
+    times = [t for t, _ in log]
+    assert [n for _, n in log] == [1] * len(log)
+    assert times == pytest.approx([0.0, 0.25, 0.5, 0.75, 1.0])
+
+
+def test_fast_flow_coalesces_full_batches():
+    """A flow whose batch accrues within the horizon emits whole batches
+    spaced ``batch / rate`` apart — same long-run rate, K-deep bursts."""
+    sim = Simulator()
+    log = []
+    sender = _train_sender(sim, rate=1000.0, batch=8, log=log)
+    sender.start()
+    sim.run(until=0.1)
+    # First firing spends the single fresh-start token; steady state is
+    # full batches every 8 ms.
+    assert log[0] == (0.0, 1)
+    steady = log[1:]
+    assert all(n == 8 for _, n in steady)
+    gaps = [b - a for (a, _), (b, _) in zip(steady, steady[1:])]
+    assert gaps == pytest.approx([8.0 / 1000.0] * len(gaps))
+
+
+def test_horizon_caps_coalescing_wait():
+    """Between the extremes the shaper fires at the last whole token the
+    horizon can reach instead of waiting for the full batch."""
+    sim = Simulator()
+    log = []
+    # 60 pps, K=8: a full batch needs 133 ms but the 50 ms horizon only
+    # reaches 3 tokens -> lumps of 3 every 50 ms.
+    sender = _train_sender(sim, rate=60.0, batch=8, log=log)
+    sender.start()
+    sim.run(until=0.5)
+    steady = log[1:]
+    assert all(n == 3 for _, n in steady)
+    gaps = [b - a for (a, _), (b, _) in zip(steady, steady[1:])]
+    assert gaps == pytest.approx([3.0 / 60.0] * len(gaps))
+
+
+def test_set_rate_does_not_mint_phantom_train_credit():
+    """Raising the rate re-prices credit at the new rate, but the K-deep
+    train bucket must not let the wait-time re-pricing materialize tokens
+    that never accrued (the scalar shaper's ``burst = 1`` cap makes that
+    impossible, so train mode must too)."""
+    sim = Simulator()
+    log = []
+    sender = _train_sender(sim, rate=2.0, batch=8, log=log)
+    sender.start()
+    sim.run(until=0.4)  # one emission at t=0; 0.8 tokens re-accrued since
+    assert log == [(0.0, 1)]
+    sender.set_rate(1000.0)
+    # waited * new_rate = 400 tokens and burst = 8, but only 0.8 accrued:
+    # the cap grants at most one prompt token.
+    assert sender.credit() <= 1.0 + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Trains x PacketPool
+# ---------------------------------------------------------------------------
+
+
+def test_pool_recycles_whole_trains_fully_reinitialized():
+    sim = Simulator()
+    sim.packet_pool = pool = PacketPool()
+    train = PacketTrain.build(1, "E1", "E2", 0, 4, now=0.0, sim=sim)
+    assert pool.allocated == 1
+    # Dirty every train-specific slot, then retire it.
+    train.marker_count = 2
+    train.origin_edge = "E1"
+    train.micro_ids = (7, 8, 9, 10)
+    train.member_labels = (1.0, 2.0, 3.0, 4.0)
+    train.member_lags = object()
+    old_pid = train.pid
+    pool.release(train)
+    assert len(pool._free_trains) == 1
+
+    again = PacketTrain.build(5, "E3", "E4", 100, 2, now=1.0, label=2.5, sim=sim)
+    assert again is train  # recycled, not reallocated
+    assert pool.reused == 1
+    assert again.pid != old_pid  # pid always drawn fresh from the sim
+    assert (again.flow_id, again.src, again.dst) == (5, "E3", "E4")
+    assert (again.seq, again.count, again.size) == (100, 2, 2.0)
+    assert again.label == 2.5 and again.created_at == 1.0
+    assert again.marker_count == 0
+    assert again.origin_edge is None
+    assert again.micro_ids is None
+    assert again.member_lags is None
+    assert again.member_labels is None
+
+
+def test_pool_keeps_trains_and_scalars_on_separate_free_lists():
+    sim = Simulator()
+    sim.packet_pool = pool = PacketPool()
+    scalar = Packet.data(1, "A", "B", seq=0, now=0.0, sim=sim)
+    train = PacketTrain.build(1, "A", "B", 0, 3, now=0.0, sim=sim)
+    pool.release(scalar)
+    pool.release(train)
+    assert len(pool._free) == 1 and len(pool._free_trains) == 1
+    # A train acquire never hands back a scalar and vice versa.
+    t = PacketTrain.build(2, "A", "B", 10, 2, now=0.5, sim=sim)
+    assert t is train
+    p = Packet.data(2, "A", "B", seq=10, now=0.5, sim=sim)
+    assert p is scalar
+    assert type(t) is PacketTrain and type(p) is Packet
+
+
+def test_split_returns_train_to_pool():
+    sim = Simulator()
+    sim.packet_pool = pool = PacketPool()
+    train = PacketTrain.build(1, "A", "B", 0, 3, now=0.0, sim=sim)
+    members = train.split(sim)
+    assert [m.seq for m in members] == [0, 1, 2]
+    assert all(type(m) is Packet and m.count == 1 for m in members)
+    assert train in pool._free_trains  # retired on split
+
+
+# ---------------------------------------------------------------------------
+# Split boundaries: non-plain-FIFO queues
+# ---------------------------------------------------------------------------
+
+
+def _one_hop(sim, queue):
+    """A single link A -> C feeding a collector, with the given queue."""
+    c = CollectorNode("C", sim)
+    link = Link(sim, "A->C", "A", c, 500.0, 0.010, queue)
+    return link, c
+
+
+@pytest.mark.parametrize(
+    "make_queue",
+    [
+        lambda: WfqQueue(capacity=50.0),
+        lambda: RedQueue(capacity=50.0),
+    ],
+    ids=["wfq", "red"],
+)
+def test_train_splits_at_non_fifo_queue(make_queue):
+    """WFQ scheduling and RED's per-arrival drop coin are per-packet
+    semantics: a train offered to such a hop must arrive as scalars."""
+    sim = Simulator()
+    link, c = _one_hop(sim, make_queue())
+    assert not link._plain_fifo
+    train = PacketTrain.build(1, "A", "C", 0, 4, now=0.0, sim=sim)
+    assert link.send(train)
+    sim.run(until=1.0)
+    assert len(c.packets) == 4
+    assert all(type(p) is Packet and p.count == 1 for p in c.packets)
+    assert sorted(p.seq for p in c.packets) == [0, 1, 2, 3]
+    assert link.queue.stats.enqueued_data == 4
+
+
+def test_train_stays_whole_through_plain_fifo():
+    """The contrast case: a drop-tail FIFO hop carries the train as one
+    event — single delivery, whole-train counters."""
+    sim = Simulator()
+    link, c = _one_hop(sim, DropTailQueue(capacity=50.0))
+    assert link._plain_fifo
+    train = PacketTrain.build(1, "A", "C", 0, 4, now=0.0, sim=sim)
+    assert link.send(train)
+    sim.run(until=1.0)
+    assert len(c.received) == 1
+    (arrival, packet), = c.received
+    assert type(packet) is PacketTrain and packet.count == 4
+    assert link.delivered_data == 4
+    # Serialized as one 4-packet lump: 4/500 s + 10 ms propagation.
+    assert arrival == pytest.approx(4.0 / 500.0 + 0.010)
+
+
+# ---------------------------------------------------------------------------
+# Split boundaries: dynamic links and failures (test_dynamics style)
+# ---------------------------------------------------------------------------
+
+
+def test_dynamic_link_delivers_scalar_members():
+    sim = Simulator()
+    link, c = _one_hop(sim, DropTailQueue(capacity=50.0))
+    link.enable_dynamics()
+    train = PacketTrain.build(1, "A", "C", 0, 4, now=0.0, sim=sim)
+    assert link.send(train)
+    sim.run(until=1.0)
+    assert len(c.packets) == 4
+    assert all(type(p) is Packet and p.count == 1 for p in c.packets)
+
+
+def test_failure_strands_every_member_in_flight():
+    """All members of a split train caught in the propagation pipe by a
+    failure are dropped by the generation check and accounted."""
+    sim = Simulator()
+    link, c = _one_hop(sim, DropTailQueue(capacity=50.0))
+    link.enable_dynamics()
+    train = PacketTrain.build(1, "A", "C", 0, 4, now=0.0, sim=sim)
+    link.send(train)
+    # 4 members serialize by 8 ms; first delivery fires at 12 ms.
+    sim.run(until=0.009)
+    link.fail()
+    sim.run(until=1.0)
+    assert c.packets == []
+    assert link.inflight_drops == 4
+
+
+def test_send_train_while_down_counts_every_member():
+    sim = Simulator()
+    link, c = _one_hop(sim, DropTailQueue(capacity=50.0))
+    link.fail()
+    train = PacketTrain.build(1, "A", "C", 0, 4, now=0.0, sim=sim)
+    assert link.send(train) is False
+    assert link.failure_drops == 4
+
+
+# ---------------------------------------------------------------------------
+# Equivalence contract: K=1 byte-identity + train-mode statistical pins
+# ---------------------------------------------------------------------------
+
+#: (topology factory, flow-set factory, run horizon, seed) per pinned
+#: scenario — the same workloads test_vectorized pins, parameterized over
+#: scheme so each runs under corelite *and* csfq.
+_SCENARIOS = {
+    "chain4": (
+        lambda: TopologySpec.chain(4),
+        lambda: topology1_flows(WEIGHTS_41, {}),
+        12.0,
+        3,
+    ),
+    "parking": (lambda: TopologySpec.parking_lot(3), parking_lot_flows, 10.0, 5),
+    "mesh": (lambda: TopologySpec.mesh(), mesh_flows, 10.0, 2),
+}
+
+
+def _build(name, scheme, train_batch=1, seed=None):
+    topo, flows, until, base_seed = _SCENARIOS[name]
+    builder = CloudBuilder(
+        topo(),
+        scheme=scheme,
+        seed=base_seed if seed is None else seed,
+        train_batch=train_batch,
+    )
+    builder.add_flows(flows())
+    return builder.build(), until
+
+
+def test_train_batch_1_is_byte_identical_to_scalar():
+    """``train_batch=1`` must take the scalar datapath exactly: the same
+    replay fingerprints test_vectorized pins against the pre-train code."""
+    digest, _, _ = _run_and_fingerprint(*_build("chain4", "corelite", train_batch=1))
+    assert digest == FINGERPRINTS["chain4_corelite"]
+    digest, _, _ = _run_and_fingerprint(*_build("mesh", "csfq", train_batch=1))
+    assert digest == FINGERPRINTS["mesh_csfq"]
+
+    builder = CloudBuilder(
+        TopologySpec.chain(2), scheme="csfq", seed=1, train_batch=1
+    )
+    builder.add_flow(FlowPathSpec(1, weight=2.0, ingress_core="C1", egress_core="C2"))
+    builder.add_flow(FlowPathSpec(2, weight=1.0, ingress_core="C1", egress_core="C2"))
+    digest, _, _ = _run_and_fingerprint(builder.build(), 12.0)
+    assert digest == FINGERPRINTS["chain2_csfq"]
+
+
+#: Seeds averaged per statistical pin.  A single deterministic pair is
+#: dominated by chaos, not bias: a handful of coalesced trains reshuffle
+#: the downstream drop-coin/feedback sequence, shifting individual flows
+#: by up to ~10% in either direction (measured chain4-csfq Jain ratios
+#: 1.0103 / 1.0001 / 0.9980 on consecutive seeds).  Averaging exposes
+#: the systematic effect the pin is actually about.
+_PIN_SEEDS = 3
+
+
+def _mean_outcome(name, scheme, train_batch):
+    """Per-flow delivered and weighted Jain, averaged over the pin seeds."""
+    base_seed = _SCENARIOS[name][3]
+    delivered_acc: dict = {}
+    jains = []
+    weights = {}
+    for seed in range(base_seed, base_seed + _PIN_SEEDS):
+        cloud, until = _build(name, scheme, train_batch=train_batch, seed=seed)
+        result = cloud.run(until=until)
+        weights = {fid: r.weight for fid, r in result.flows.items()}
+        for fid, r in result.flows.items():
+            delivered_acc[fid] = delivered_acc.get(fid, 0) + r.delivered
+        jains.append(
+            jain_index(
+                [
+                    r.delivered / r.weight
+                    for _, r in sorted(result.flows.items())
+                ]
+            )
+        )
+    delivered = {fid: total / _PIN_SEEDS for fid, total in delivered_acc.items()}
+    return delivered, sum(jains) / len(jains), weights
+
+
+@pytest.mark.parametrize("scheme", ["corelite", "csfq"])
+@pytest.mark.parametrize("name", sorted(_SCENARIOS))
+def test_train_mode_is_statistically_equivalent(name, scheme):
+    """Train runs reorder work (K-deep bursts, bulk charges) so they are
+    pinned statistically: weighted Jain ratio within 1% of the scalar
+    runs and per-flow delivered within 10%, averaged over seeds."""
+    scalar_delivered, scalar_jain, _ = _mean_outcome(name, scheme, 1)
+    train_delivered, train_jain, _ = _mean_outcome(
+        name, scheme, TRAIN_RUNG_BATCH
+    )
+
+    assert set(train_delivered) == set(scalar_delivered)
+    assert 0.99 <= train_jain / scalar_jain <= 1.01
+    for fid in scalar_delivered:
+        assert abs(train_delivered[fid] - scalar_delivered[fid]) <= (
+            0.10 * max(1.0, scalar_delivered[fid])
+        )
