@@ -295,6 +295,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="small sizes / fewer repeats (the CI smoke)")
     bench.add_argument("--repeats", type=int, default=None,
                        help="override per-bench repeat count")
+    bench.add_argument("--diff", type=str, nargs=2, default=None,
+                       metavar=("CURRENT", "BASELINE"),
+                       help="diff two existing BENCH_*.json reports and "
+                            "exit without running the suite (informational "
+                            "— the gating form is --baseline)")
     bench.add_argument("--baseline", type=str, default=None,
                        help="previous BENCH_*.json to diff against; exits 1 "
                             "on a regression beyond --threshold")
@@ -308,6 +313,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "(1 forces the scalar datapath — the way the "
                             "interleaved _base half of a before/after "
                             "pair is produced; default: per-rung config)")
+    bench.add_argument("--pdes-static", action="store_true",
+                       help="force the _adaptive pdes rungs back to the "
+                            "static-window barrier protocol (the way the "
+                            "interleaved _base half of an adaptive "
+                            "before/after pair is produced on one build)")
     bench.add_argument("--profile", type=str, default=None, metavar="STATS",
                        help="run the suite under cProfile, dump pstats "
                             "data to a file, and embed the top-20 "
@@ -432,6 +442,23 @@ def _run_bench(args: argparse.Namespace) -> Dict:
         print(f"\n{len(rows)} registered benchmarks")
         return {"benches": [row[0] for row in rows]}
 
+    if args.diff:
+        current_path, baseline_path = args.diff
+        current = perf.load_report(current_path)
+        baseline = perf.load_report(baseline_path)
+        regressions, improvements = perf.diff_reports(
+            current,
+            baseline,
+            threshold=args.threshold,
+            warn=lambda message: print(f"  ~ {message}"),
+        )
+        print(f"{current_path} vs {baseline_path}:")
+        print(perf.format_diff_table(regressions, improvements))
+        return {
+            "regressions": [r.name for r in regressions],
+            "improvements": [r.name for r in improvements],
+        }
+
     print(f"== corelite bench ({'quick' if args.quick else 'full'} suite) ==")
     with _maybe_profile(args.profile) as prof:
         report = perf.run_suite(
@@ -440,6 +467,7 @@ def _run_bench(args: argparse.Namespace) -> Dict:
             repeats=args.repeats,
             pool=args.pool,
             train_batch=args.train_batch,
+            pdes_static=args.pdes_static,
             log=print,
         )
     if prof.profile is not None:

@@ -157,6 +157,20 @@ class SchemeStrategy:
         """
         return None
 
+    @classmethod
+    def control_channels(cls, flows, on_path_cores):
+        """Ordered ``(src_node, dst_node)`` pairs the scheme's control
+        plane can message over, delivered at ``shadow.path_delay(src,
+        dst)`` (the contract of ``send_control``).  The adaptive PDES
+        coordinator folds these into its channel-delay matrix, so every
+        scheme MUST enumerate its cross-partition control traffic here —
+        a missing channel would let a partition run past a message still
+        in flight.  ``on_path_cores`` maps ``flow_id`` to the cores that
+        can observe that flow's packets (all cores when routing is
+        non-deterministic).
+        """
+        raise NotImplementedError
+
 
 class CoreliteStrategy(SchemeStrategy):
     """Corelite cores and edges (paper §2-§3 mechanisms end to end)."""
@@ -286,6 +300,15 @@ class CoreliteStrategy(SchemeStrategy):
         if force_unpark is not None:
             force_unpark(link.name)
 
+    @classmethod
+    def control_channels(cls, flows, on_path_cores):
+        # Rate feedback: any core whose machinery observes a flow's
+        # markers (every on-path core — core output links include the
+        # egress access link) emits toward that flow's ingress edge.
+        for flow in flows:
+            for core in on_path_cores[flow.flow_id]:
+                yield core, flow.ingress_edge
+
 
 class CsfqStrategy(SchemeStrategy):
     """Weighted-CSFQ cores and edges (the paper's §4 comparison baseline)."""
@@ -355,6 +378,14 @@ class CsfqStrategy(SchemeStrategy):
         for link in cloud._core_output_links():
             core = cloud.topology.nodes[link.src_name]
             core.enable_on_link(link)
+
+    @classmethod
+    def control_channels(cls, flows, on_path_cores):
+        # Loss notifications travel egress edge -> ingress edge; the
+        # cores are stateless and emit nothing.  (FifoStrategy inherits
+        # this: its edges reuse the CSFQ loss channel.)
+        for flow in flows:
+            yield flow.egress_edge, flow.ingress_edge
 
 
 class FifoStrategy(CsfqStrategy):
@@ -1038,6 +1069,7 @@ class CloudBuilder:
         partitions: int = 1,
         partition_plan=None,
         pdes_mode: str = "process",
+        pdes_adaptive: bool = True,
     ) -> None:
         if scheme not in SCHEME_STRATEGIES:
             raise ConfigurationError(
@@ -1064,6 +1096,7 @@ class CloudBuilder:
         self.partitions = partitions
         self.partition_plan = partition_plan
         self.pdes_mode = pdes_mode
+        self.pdes_adaptive = pdes_adaptive
         self._flows: List[FlowPathSpec] = []
 
     def add_flow(self, spec: Union[FlowPathSpec, None] = None, **kwargs) -> "CloudBuilder":
@@ -1127,6 +1160,7 @@ class CloudBuilder:
             partitions=self.partitions,
             plan=self.partition_plan,
             mode=self.pdes_mode,
+            adaptive=self.pdes_adaptive,
             queue_factory=self.queue_factory,
             control_loss_prob=self.control_loss_prob,
             packet_pool=self.packet_pool,

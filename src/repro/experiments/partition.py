@@ -38,7 +38,75 @@ from typing import Dict, List, Mapping, Sequence, Tuple
 from repro.errors import ConfigurationError, TopologyError
 from repro.sim.routing import reconstruct_path, shortest_paths
 
-__all__ = ["PartitionPlan", "auto_partition", "ShadowGraph"]
+__all__ = [
+    "PartitionPlan",
+    "auto_partition",
+    "ShadowGraph",
+    "channel_delay_matrix",
+    "lookahead_closure",
+]
+
+
+def channel_delay_matrix(
+    num_partitions: int,
+    channels: Sequence[Tuple[int, int, float]],
+) -> List[List[float]]:
+    """Minimum message delay per ordered partition pair.
+
+    ``channels`` enumerates every way one partition can put an event on
+    another's calendar — a directed cut link carrying data traffic, or a
+    control channel (feedback / loss-notify) whose delivery is computed
+    as a shadow-path delay.  The matrix entry ``D[i][j]`` is the minimum
+    over all channels from ``i`` to ``j`` (``inf`` when no channel
+    exists): if partition ``i`` has executed everything strictly before
+    time ``t``, nothing it emits can reach ``j`` before ``t + D[i][j]``.
+
+    A non-positive channel delay offers no lookahead at all, so it is an
+    error — same contract as :meth:`PartitionPlan.window`.
+    """
+    inf = math.inf
+    matrix = [[inf] * num_partitions for _ in range(num_partitions)]
+    for src, dst, delay in channels:
+        if delay <= 0.0:
+            raise ConfigurationError(
+                f"cross-partition channel {src}->{dst} has non-positive "
+                f"delay {delay}: no conservative lookahead exists across it"
+            )
+        if src == dst:
+            continue
+        if delay < matrix[src][dst]:
+            matrix[src][dst] = delay
+    return matrix
+
+
+def lookahead_closure(matrix: Sequence[Sequence[float]]) -> List[List[float]]:
+    """Minimum delay of any *multi-hop* influence path between partitions.
+
+    Floyd–Warshall over the channel-delay matrix **without** zeroing the
+    diagonal: the result is the minimum total delay over all walks of at
+    least one channel, so ``closure[i][j]`` bounds how soon an event in
+    partition ``i`` can cause one in ``j`` even through intermediate
+    partitions, and ``closure[i][i]`` is the minimum cycle through ``i``
+    (how soon a partition can hear back its own echo).  All channel
+    delays are positive (checked by :func:`channel_delay_matrix`), so
+    walks cannot undercut their own prefixes and the triple loop
+    converges to the true walk minimum.
+    """
+    n = len(matrix)
+    dist = [list(row) for row in matrix]
+    inf = math.inf
+    for k in range(n):
+        row_k = dist[k]
+        for i in range(n):
+            d_ik = dist[i][k]
+            if d_ik == inf:
+                continue
+            row_i = dist[i]
+            for j in range(n):
+                alt = d_ik + row_k[j]
+                if alt < row_i[j]:
+                    row_i[j] = alt
+    return dist
 
 
 @dataclass(frozen=True)

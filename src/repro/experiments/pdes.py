@@ -2,126 +2,187 @@
 
 A :class:`ParallelCloud` runs a :class:`~repro.experiments.topospec.TopologySpec`
 as N partition-local :class:`~repro.sim.engine.Simulator` instances
-advancing in lock-step windows under the classic conservative barrier
-protocol.  The conservative window is the minimum propagation delay over
-the *cut links* (see :class:`~repro.experiments.partition.PartitionPlan`):
-any event generated inside a window and addressed to another partition is
-in flight for at least one window, so after every partition has executed
-``(t, t + W]`` each cross-partition message carries a timestamp strictly
-beyond the barrier — no partition can ever receive an event from its past.
+advancing under the conservative barrier protocol.  The static window is
+the minimum propagation delay over the *cut links* (see
+:class:`~repro.experiments.partition.PartitionPlan`): any event generated
+inside a window and addressed to another partition is in flight for at
+least one window, so no partition can ever receive an event from its past.
 
-The pieces, bottom to top:
+Adaptive lookahead (the default) sharpens that bound per barrier.  The
+coordinator holds a *channel-delay matrix*: for every ordered partition
+pair, the minimum delay over all channels partition ``i`` can message
+``j`` through — directed cut links actually used by some flow's route
+(data and markers), plus the scheme's control channels (Corelite rate
+feedback from on-path cores to remote ingress edges, CSFQ/FIFO loss
+notifications from egress to ingress edges), each at its shadow-path
+delay, exactly the delay ``send_control`` charges.  A Floyd–Warshall
+closure (:func:`~repro.experiments.partition.lookahead_closure`) extends
+the matrix to multi-hop influence paths.  Every worker returns a
+*lookahead promise* with its outbox — the timestamp of its earliest
+pending event — and the coordinator advances partition ``j`` to::
 
-* :class:`~repro.sim.link.BoundaryLink` (layer 1) captures a transmitted
-  packet inside the sending window and hands ``(deliver_time, packet)``
-  to the partition runtime instead of scheduling a local arrival.
-* :class:`_PartitionWorker` (this module) owns one partition: its
-  sub-:class:`~repro.experiments.builder.Cloud`, the global
-  :class:`~repro.experiments.partition.ShadowGraph` it resolves routes
-  and control delays against, the outbox of cross-partition messages and
-  the per-flow measurement series for the slice of every flow it hosts
-  (rate at the ingress partition, throughput/losses at the egress one).
-* The session objects host the workers either inline (same process, for
-  exact-equivalence tests) or in spawned worker processes connected by
-  pipes (the performance configuration, reusing the spawn-safe module
-  top-level entry point pattern of :mod:`repro.experiments.parallel`).
-* :class:`ParallelCloud` is the coordinator: it partitions the spec,
-  drives the window barrier loop, routes outbox messages to the right
-  inbox sorted by ``(deliver_time, source partition, emission seq)`` so
-  injection order is deterministic, and merges the per-partition
-  fragments into one serial-shaped
-  :class:`~repro.experiments.runner.RunResult`.
+    t_next[j] = min(until, min_i(eff[i] + closure[i][j]))
+
+where ``eff[i]`` is the earliest future activity of partition ``i`` (its
+promise, or an undelivered message bound for it, whichever is sooner).
+Nothing can reach ``j`` before ``t_next[j]``, so the window is safe; and
+because every channel crosses at least one cut link, ``t_next`` is never
+tighter than the static window — adaptive windows are a strict
+improvement.  Byte-identity with the serial run survives because window
+boundaries only chunk execution: the global ``(time, insertion)`` event
+order is unchanged as long as every message is injected before its
+destination passes its delivery time, which the bound guarantees.
+
+Barrier overhead is attacked three more ways:
+
+* One fused message per barrier: the window command carries the inbox
+  batches and (on first contact) the schedule parameters; the reply
+  carries the outbox and the lookahead promise.
+* Idle partitions skip the round-trip entirely: when a partition has an
+  empty inbox and a cached promise beyond ``t_next``, the coordinator
+  bumps its logical clock without touching the worker.
+* Boundary traffic is array-batched: a window's packets serialize as one
+  numeric ``array('d')`` column plus one object column per destination
+  partition instead of per-packet tuples, so a batch pickles as a few
+  buffers.  :class:`~repro.sim.packet.PacketTrain` carriers cross
+  plain-FIFO cut links whole — the wire format round-trips the train
+  fields (count, markers, micro ids, member lags/labels).
+
+Execution modes differ in stepping discipline, not semantics: ``inline``
+advances one partition at a time (Gauss–Seidel — each step sees every
+earlier step's fresh promise, which compounds lookahead fastest),
+``process`` advances all due partitions concurrently per round (Jacobi —
+that concurrency is the parallel speedup).
 
 Equivalence with the serial build is by construction, not by sampling:
 every RNG stream is name-derived and consumed by exactly one component
 in exactly one partition, routing and control delays come from the
 shadow graph (identical floats to the serial topology queries), and
 boundary transmission uses the same queued-path timestamps as a local
-link.  The two-partition chain pins in ``tests/test_pdes.py`` assert
-bit-equal rate/throughput series against the serial run.
+link.  The chain pins in ``tests/test_pdes.py`` assert bit-equal
+rate/throughput series against the serial run, adaptive and static.
 
 v1 restrictions (each raises :class:`~repro.errors.ConfigurationError`):
-topology dynamics, TCP transport, lossy control planes, ``record_queues``
-and custom queue factories in process mode are not supported yet.
+topology dynamics, TCP transport, lossy control planes and custom queue
+factories in process mode are not supported yet.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import traceback
+from array import array
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, RoutingError, SimulationError, TopologyError
 from repro.experiments.builder import SCHEME_STRATEGIES, Cloud
-from repro.experiments.partition import PartitionPlan, ShadowGraph
+from repro.experiments.partition import (
+    PartitionPlan,
+    ShadowGraph,
+    channel_delay_matrix,
+    lookahead_closure,
+)
 from repro.experiments.runner import FlowRecord, RunResult
 from repro.experiments.topospec import FlowPathSpec, TopologySpec
 from repro.sim.control import ControlPlane
 from repro.sim.monitor import Series
 from repro.sim.node import Router
-from repro.sim.packet import Packet, PacketKind
+from repro.sim.packet import Packet, PacketKind, PacketTrain
 from repro.sim.routing import equal_cost_next_hops, reconstruct_path
 
 __all__ = ["ParallelCloud"]
 
 
-# -- cross-partition message payloads -----------------------------------------
+# -- batched wire format -------------------------------------------------------
 #
-# Packets are serialized field-by-field into plain tuples: cheap to
-# pickle, and reconstruction draws a fresh pid from the *destination*
-# simulator's counter (pids are allocation bookkeeping, never behavior —
-# queues order by arrival and the engine orders by its own sequence
-# numbers, so re-numbering cannot shift results).
+# A window's boundary traffic toward one destination partition is one
+# batch: a numeric column (array('d'), machine-width pickling) holding
+# the per-entry scalars, an object column holding the strings, and a
+# sparse list of train extras.  Packet ids are never shipped —
+# reconstruction draws fresh pids from the *destination* simulator (pids
+# are allocation bookkeeping, never behavior).
+
+#: Numeric column stride: deliver, tag (0 pkt / 1 feedback / 2 loss),
+#: emission seq, packet kind, size, packet seq, label, created_at, ecn,
+#: micro_id.
+_NUMS = 10
+#: Object column stride: dst node/edge name, flow_id, src, dst,
+#: origin_edge, feedback_from.
+_OBJS = 6
+
+_np_asarray = None
 
 
-def _pack_packet(packet: Packet) -> Tuple:
-    return (
-        int(packet.kind),
-        packet.flow_id,
-        packet.size,
-        packet.seq,
-        packet.src,
-        packet.dst,
-        packet.origin_edge,
-        packet.label,
-        packet.feedback_from,
-        packet.created_at,
-        packet.ecn,
-        packet.micro_id,
-    )
+def _lags_array(lags: List[float]):
+    """Member-lag lists travel as plain floats; the egress delay stats
+    vectorize over them, so rebuild the NumPy array on arrival."""
+    global _np_asarray
+    if _np_asarray is None:
+        from numpy import asarray
+
+        _np_asarray = asarray
+    return _np_asarray(lags, dtype=float)
 
 
-def _unpack_packet(state: Tuple, sim) -> Packet:
-    (
-        kind,
-        flow_id,
-        size,
-        seq,
-        src,
-        dst,
-        origin_edge,
-        label,
-        feedback_from,
-        created_at,
-        ecn,
-        micro_id,
-    ) = state
-    packet = Packet(
-        PacketKind(kind),
-        flow_id,
-        src,
-        dst,
-        size=size,
-        seq=seq,
-        origin_edge=origin_edge,
-        label=label,
-        created_at=created_at,
-        sim=sim,
-    )
-    packet.feedback_from = feedback_from
-    packet.ecn = ecn
-    packet.micro_id = micro_id
-    return packet
+class _OutBatch:
+    """Accumulates one window's messages toward one destination partition."""
+
+    __slots__ = ("n", "min_deliver", "nums", "objs", "trains")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.min_deliver = math.inf
+        self.nums = array("d")
+        self.objs: List = []
+        self.trains: List[Tuple] = []
+
+    def add(
+        self, tag: float, deliver: float, seq: int, dst_name: str, packet: Packet
+    ) -> None:
+        row = self.n
+        self.n = row + 1
+        if deliver < self.min_deliver:
+            self.min_deliver = deliver
+        self.nums.extend(
+            (
+                deliver,
+                tag,
+                float(seq),
+                float(int(packet.kind)),
+                packet.size,
+                float(packet.seq),
+                float(packet.label),
+                packet.created_at,
+                1.0 if packet.ecn else 0.0,
+                float(packet.micro_id),
+            )
+        )
+        self.objs.extend(
+            (
+                dst_name,
+                packet.flow_id,
+                packet.src,
+                packet.dst,
+                packet.origin_edge,
+                packet.feedback_from,
+            )
+        )
+        if type(packet) is not Packet:
+            lags = packet.member_lags
+            self.trains.append(
+                (
+                    row,
+                    packet.count,
+                    packet.marker_count,
+                    packet.micro_ids,
+                    None if lags is None else [float(lag) for lag in lags],
+                    packet.member_labels,
+                )
+            )
+
+    def payload(self) -> Tuple:
+        return (self.n, self.min_deliver, self.nums, self.objs, self.trains)
 
 
 class _ShadowControlPlane(ControlPlane):
@@ -150,13 +211,16 @@ class _ShadowControlPlane(ControlPlane):
 
 
 class _PartitionWorker:
-    """One partition: its sub-cloud, shadow graph, outbox and metrics.
+    """One partition: its sub-cloud, shadow graph, outboxes and metrics.
 
     Constructed from a picklable payload dict so the process mode can
     ship it to a spawned worker unchanged.  Implements the partition
     protocol the :class:`~repro.experiments.builder.Cloud` build hooks
     call into: ``owns`` / ``boundary_emit`` / ``make_control_plane`` /
-    ``send_control`` / ``finalize_cloud``.
+    ``send_control`` / ``finalize_cloud``.  Outgoing messages are packed
+    into per-destination-partition :class:`_OutBatch` columns at emit
+    time (the packet object may be recycled the moment the emit closure
+    returns, so fields are captured immediately).
     """
 
     def __init__(self, payload: Dict) -> None:
@@ -172,12 +236,16 @@ class _PartitionWorker:
         self.vectorized: bool = payload["vectorized"]
         self.train_batch: int = payload.get("train_batch", 1)
         self.queue_factory = payload["queue_factory"]
+        #: Destination name -> owning partition (coordinator-computed),
+        #: so outboxes are pre-split by destination on the worker side.
+        self.partition_of: Dict[str, int] = payload["partition_of"]
         self._local = frozenset(self.plan.cores_of(self.index))
         self.cloud: Optional[Cloud] = None
         self.shadow: Optional[ShadowGraph] = None
-        self.outbox: List[Tuple] = []
+        self._out: Dict[int, _OutBatch] = {}
         self._emit_seq = 0
         self._records: Dict[int, Dict] = {}
+        self._queues: List[Tuple] = []
         self._sampler = None
 
     # -- construction ----------------------------------------------------
@@ -205,11 +273,20 @@ class _PartitionWorker:
     def owns(self, core: str) -> bool:
         return core in self._local
 
+    def _batch_for(self, dst_partition: int) -> _OutBatch:
+        batch = self._out.get(dst_partition)
+        if batch is None:
+            batch = _OutBatch()
+            self._out[dst_partition] = batch
+        return batch
+
     def boundary_emit(self, dst_name: str) -> Callable[[float, Packet], None]:
+        dst_partition = self.partition_of[dst_name]
+
         def emit(deliver_time: float, packet: Packet) -> None:
             self._emit_seq += 1
-            self.outbox.append(
-                ("pkt", deliver_time, self._emit_seq, dst_name, _pack_packet(packet))
+            self._batch_for(dst_partition).add(
+                0.0, deliver_time, self._emit_seq, dst_name, packet
             )
 
         return emit
@@ -227,8 +304,12 @@ class _PartitionWorker:
         """
         deliver = self.cloud.sim.now + self.shadow.path_delay(src, dst_edge)
         self._emit_seq += 1
-        self.outbox.append(
-            ("ctl", deliver, self._emit_seq, dst_edge, kind, _pack_packet(packet))
+        self._batch_for(self.partition_of[dst_edge]).add(
+            1.0 if kind == "feedback" else 2.0,
+            deliver,
+            self._emit_seq,
+            dst_edge,
+            packet,
         )
 
     def finalize_cloud(self, cloud: Cloud) -> None:
@@ -324,14 +405,20 @@ class _PartitionWorker:
 
     # -- window execution -------------------------------------------------
 
-    def schedule(self, until: float, sample_interval: float) -> None:
+    def schedule(
+        self, until: float, sample_interval: float, record_queues: bool = False
+    ) -> None:
         """Schedule local flow traffic and start the per-flow samplers.
 
         A flow's generators run where its ingress lives; its rate series
         is sampled there, its throughput/cumulative series at the egress
         partition.  Sampling instants match the serial run (every
         ``sample_interval`` from time 0), so merged series line up
-        sample-for-sample with their serial counterparts.
+        sample-for-sample with their serial counterparts.  With
+        ``record_queues``, every local core-to-core link — including the
+        local half of a cut link, whose queue lives entirely on this
+        side — is sampled at the same instants, exactly as the serial
+        :meth:`Cloud.run` samples it.
         """
         cloud = self.cloud
         for spec in self.flows:
@@ -348,6 +435,13 @@ class _PartitionWorker:
                 entry["tput"] = Series(f"tput:{fid}")
                 entry["cum"] = Series(f"cum:{fid}")
             self._records[fid] = entry
+
+        if record_queues:
+            core_set = set(self.spec.cores)
+            for link in cloud.topology.links.values():
+                if link.src_name in core_set and link.dst.name in core_set:
+                    self._queues.append((link, Series(f"queue:{link.name}")))
+        queues = self._queues
 
         def sample() -> None:
             now = cloud.sim.now
@@ -367,29 +461,94 @@ class _PartitionWorker:
                     egress = cloud.edges[spec.egress_edge]
                     tput_series.append(now, egress.take_throughput(fid))
                     entry["cum"].append(now, float(egress.delivered(fid)))
+            for link, series in queues:
+                series.append(now, link.queue.occupancy)
 
         self._sampler = cloud.sim.every(sample_interval, sample)
 
-    def inject(self, messages: Sequence[Tuple]) -> None:
-        """Ingest one window's cross-partition messages (pre-sorted by
-        the coordinator; injection order fixes engine tie-breaking)."""
+    def inject_batches(self, batches: Sequence[Tuple[int, Tuple]]) -> None:
+        """Unpack one window's inbound batches and inject every entry.
+
+        Entries merge across source partitions sorted by ``(deliver
+        time, source partition, emission seq)`` — the same deterministic
+        order the per-tuple protocol used — before touching the engine,
+        so tie-breaking is independent of batching.
+        """
+        if not batches:
+            return
         sim = self.cloud.sim
-        for message in messages:
-            if message[0] == "pkt":
-                _tag, time, dst_name, state = message
-                node = self.cloud.topology.nodes[dst_name]
-                sim.inject(time, node.receive, _unpack_packet(state, sim), None)
+        entries = []
+        for src_index, (n, _min_deliver, nums, objs, trains) in batches:
+            extras = dict()
+            for extra in trains:
+                extras[extra[0]] = extra
+            for row in range(n):
+                base = row * _NUMS
+                entries.append(
+                    (
+                        (nums[base], src_index, nums[base + 2]),
+                        base,
+                        row * _OBJS,
+                        nums,
+                        objs,
+                        extras.get(row),
+                    )
+                )
+        entries.sort(key=lambda entry: entry[0])
+        nodes = self.cloud.topology.nodes
+        edges = self.cloud.edges
+        for _key, base, obase, nums, objs, extra in entries:
+            deliver = nums[base]
+            tag = nums[base + 1]
+            flow_id = objs[obase + 1]
+            src = objs[obase + 2]
+            dst = objs[obase + 3]
+            if extra is None:
+                packet = Packet(
+                    PacketKind(int(nums[base + 3])),
+                    flow_id,
+                    src,
+                    dst,
+                    size=nums[base + 4],
+                    seq=int(nums[base + 5]),
+                    origin_edge=objs[obase + 4],
+                    label=nums[base + 6],
+                    created_at=nums[base + 7],
+                    sim=sim,
+                )
+                packet.micro_id = int(nums[base + 9])
             else:
-                _tag, time, dst_edge, kind, state = message
-                edge = self.cloud.edges[dst_edge]
-                deliver = (
+                _row, count, marker_count, micro_ids, lags, member_labels = extra
+                packet = PacketTrain(
+                    flow_id,
+                    src,
+                    dst,
+                    int(nums[base + 5]),
+                    count,
+                    created_at=nums[base + 7],
+                    label=nums[base + 6],
+                    sim=sim,
+                )
+                packet.size = nums[base + 4]
+                packet.origin_edge = objs[obase + 4]
+                packet.marker_count = marker_count
+                packet.micro_ids = micro_ids
+                packet.member_lags = None if lags is None else _lags_array(lags)
+                packet.member_labels = member_labels
+                packet.micro_id = int(nums[base + 9])
+            packet.feedback_from = objs[obase + 5]
+            packet.ecn = nums[base + 8] != 0.0
+            if tag == 0.0:
+                node = nodes[objs[obase]]
+                sim.inject(deliver, node.receive, packet, None)
+            else:
+                edge = edges[objs[obase]]
+                deliver_fn = (
                     edge.receive_feedback
-                    if kind == "feedback"
+                    if tag == 1.0
                     else edge.receive_loss_notify
                 )
-                sim.inject(
-                    time, self._deliver_control, deliver, _unpack_packet(state, sim)
-                )
+                sim.inject(deliver, self._deliver_control, deliver_fn, packet)
 
     def _deliver_control(self, deliver: Callable[[Packet], None], packet: Packet) -> None:
         # Injected control packets count as delivered exactly like the
@@ -400,10 +559,16 @@ class _PartitionWorker:
     def run_window(self, until: float) -> None:
         self.cloud.sim.run_window(until)
 
-    def take_outbox(self) -> List[Tuple]:
-        outbox = self.outbox
-        self.outbox = []
-        return outbox
+    def peek(self) -> Optional[float]:
+        """Lookahead promise: time of the earliest pending local event
+        (``None`` when the calendar is empty)."""
+        return self.cloud.sim.peek_time()
+
+    def take_out(self) -> Dict[int, Tuple]:
+        """This window's outbox, pre-split per destination partition."""
+        out = self._out
+        self._out = {}
+        return {dst: batch.payload() for dst, batch in out.items()}
 
     def fragment(self) -> Dict:
         """This partition's share of the run result (picklable)."""
@@ -436,6 +601,10 @@ class _PartitionWorker:
             "drops": cloud.topology.total_drops(),
             "events": cloud.sim.events_executed,
             "flows": flows,
+            "queues": {
+                link.name: (list(series.times), list(series.values))
+                for link, series in self._queues
+            },
         }
 
 
@@ -450,19 +619,16 @@ class _InlineSession:
         for worker in self.workers:
             worker.prepare()
 
-    def schedule(self, until: float, sample_interval: float) -> None:
-        for worker in self.workers:
-            worker.schedule(until, sample_interval)
-
-    def step(
-        self, t_next: float, inboxes: Sequence[Sequence[Tuple]]
-    ) -> List[List[Tuple]]:
-        outboxes = []
-        for worker, inbox in zip(self.workers, inboxes):
-            worker.inject(inbox)
+    def windows(self, requests: Sequence[Tuple]) -> Dict[int, Tuple]:
+        results: Dict[int, Tuple] = {}
+        for index, t_next, batches, sched in requests:
+            worker = self.workers[index]
+            if sched is not None:
+                worker.schedule(*sched)
+            worker.inject_batches(batches)
             worker.run_window(t_next)
-            outboxes.append(worker.take_outbox())
-        return outboxes
+            results[index] = (worker.take_out(), worker.peek())
+        return results
 
     def finish(self) -> List[Dict]:
         return [worker.fragment() for worker in self.workers]
@@ -476,8 +642,11 @@ def _pdes_worker_main(conn, payload: Dict) -> None:
 
     Module top-level so the spawn start method can pickle it (same
     constraint as the :mod:`repro.experiments.parallel` pool workers).
-    Replies ``("error", traceback)`` on any failure; the coordinator
-    re-raises with the worker's traceback text.
+    One message per barrier each way: ``("window", (t_next, batches,
+    sched))`` in — ``sched`` carries the schedule parameters on first
+    contact only — ``("outbox", (out, peek))`` back.  Replies
+    ``("error", traceback)`` on any failure; the coordinator re-raises
+    with the worker's traceback text.
     """
     try:
         worker = _PartitionWorker(payload)
@@ -485,14 +654,13 @@ def _pdes_worker_main(conn, payload: Dict) -> None:
         conn.send(("ready", None))
         while True:
             tag, body = conn.recv()
-            if tag == "schedule":
-                worker.schedule(*body)
-                conn.send(("scheduled", None))
-            elif tag == "window":
-                t_next, inbox = body
-                worker.inject(inbox)
+            if tag == "window":
+                t_next, batches, sched = body
+                if sched is not None:
+                    worker.schedule(*sched)
+                worker.inject_batches(batches)
                 worker.run_window(t_next)
-                conn.send(("outbox", worker.take_outbox()))
+                conn.send(("outbox", (worker.take_out(), worker.peek())))
             elif tag == "finish":
                 conn.send(("fragment", worker.fragment()))
                 return
@@ -510,9 +678,9 @@ def _pdes_worker_main(conn, payload: Dict) -> None:
 class _ProcessSession:
     """One spawned process per partition, pipe-connected.
 
-    Window commands are sent to every worker before any reply is read,
-    so partitions execute their windows concurrently — that concurrency
-    is the entire speedup.
+    Window commands are sent to every due worker before any reply is
+    read, so partitions execute their windows concurrently — that
+    concurrency is the entire speedup.
     """
 
     def __init__(self, payloads: Sequence[Dict]) -> None:
@@ -550,18 +718,13 @@ class _ProcessSession:
             )
         return message[1]
 
-    def schedule(self, until: float, sample_interval: float) -> None:
-        for conn in self._conns:
-            conn.send(("schedule", (until, sample_interval)))
-        for conn in self._conns:
-            self._expect(conn, "scheduled")
-
-    def step(
-        self, t_next: float, inboxes: Sequence[Sequence[Tuple]]
-    ) -> List[List[Tuple]]:
-        for conn, inbox in zip(self._conns, inboxes):
-            conn.send(("window", (t_next, list(inbox))))
-        return [self._expect(conn, "outbox") for conn in self._conns]
+    def windows(self, requests: Sequence[Tuple]) -> Dict[int, Tuple]:
+        for index, t_next, batches, sched in requests:
+            self._conns[index].send(("window", (t_next, batches, sched)))
+        return {
+            request[0]: self._expect(self._conns[request[0]], "outbox")
+            for request in requests
+        }
 
     def finish(self) -> List[Dict]:
         for conn in self._conns:
@@ -591,6 +754,11 @@ class ParallelCloud:
     timing, :meth:`start` (worker spawn + topology build, untimed setup)
     and :meth:`execute` (scheduling, the window barrier loop and the
     merge) are exposed separately.
+
+    After :meth:`execute`, the barrier-overhead counters describe the
+    run: ``barriers`` (worker window round-trips — the quantity adaptive
+    lookahead minimizes), ``rounds`` (coordinator scheduling rounds) and
+    ``skips`` (idle round-trips elided entirely).
     """
 
     def __init__(
@@ -604,6 +772,7 @@ class ParallelCloud:
         partitions: int = 2,
         plan: Optional[PartitionPlan] = None,
         mode: str = "process",
+        adaptive: bool = True,
         queue_factory=None,
         control_loss_prob: float = 0.0,
         packet_pool: bool = False,
@@ -663,14 +832,21 @@ class ParallelCloud:
         self.config = config
         self.plan = plan
         self.mode = mode
+        self.adaptive = adaptive
         self.queue_factory = queue_factory
         self.packet_pool = packet_pool
         self.calendar = calendar
         self.vectorized = vectorized
         self.train_batch = train_batch
-        #: Conservative window: min cut-link propagation delay (``inf``
-        #: when no link crosses the cut — one barrier spans the run).
+        #: Conservative static window: min cut-link propagation delay
+        #: (``inf`` when no link crosses the cut — one barrier spans the
+        #: run).  The floor for adaptive windows, and the whole story
+        #: for ``adaptive=False``.
         self.window = plan.window(spec)
+        #: Barrier-overhead counters, populated by :meth:`execute`.
+        self.barriers = 0
+        self.rounds = 0
+        self.skips = 0
         # Destination name -> owning partition, for outbox routing.  Cut
         # links are always core-core (access links follow their core), so
         # packet messages target cores; control messages target edges.
@@ -684,6 +860,56 @@ class ParallelCloud:
             self._partition_of[flow.egress_edge] = plan.partition_of(
                 flow.egress_core
             )
+        self._lookahead: Optional[List[List[float]]] = (
+            lookahead_closure(self._channel_matrix()) if adaptive else None
+        )
+
+    def _channel_matrix(self) -> List[List[float]]:
+        """Per-ordered-pair minimum cross-partition message delay.
+
+        Data channels are the directed cut links some flow's route
+        actually uses (under non-static routing every directed cut link
+        is assumed live — paths vary per packet, so the conservative
+        superset is the only sound choice).  Control channels come from
+        the scheme strategy, at the shadow-path delay ``send_control``
+        charges.  Same-partition channels are discarded by
+        :func:`channel_delay_matrix`.
+        """
+        shadow = ShadowGraph(self.spec, self.flows)
+        plan = self.plan
+        channels: List[Tuple[int, int, float]] = []
+        directed: Dict[str, Tuple[int, int, float]] = {}
+        for link in plan.cut_links(self.spec):
+            pa = plan.partition_of(link.a)
+            pb = plan.partition_of(link.b)
+            directed[f"{link.a}->{link.b}"] = (pa, pb, link.prop_delay)
+            directed[f"{link.b}->{link.a}"] = (pb, pa, link.prop_delay)
+        core_set = set(self.spec.cores)
+        on_path_cores: Dict[int, Tuple[str, ...]] = {}
+        if self.spec.routing_mode == "static":
+            for flow in self.flows:
+                names = shadow.path_link_names(flow.ingress_edge, flow.egress_edge)
+                cores: List[str] = []
+                for name in names:
+                    if name in directed:
+                        channels.append(directed[name])
+                    src = name.partition("->")[0]
+                    if src in core_set:
+                        cores.append(src)
+                on_path_cores[flow.flow_id] = tuple(dict.fromkeys(cores))
+        else:
+            channels.extend(directed.values())
+            all_cores = tuple(self.spec.cores)
+            for flow in self.flows:
+                on_path_cores[flow.flow_id] = all_cores
+        strategy_cls = SCHEME_STRATEGIES[self.scheme]
+        part = self._partition_of
+        for src, dst in strategy_cls.control_channels(self.flows, on_path_cores):
+            src_part = part[src]
+            dst_part = part[dst]
+            if src_part != dst_part:
+                channels.append((src_part, dst_part, shadow.path_delay(src, dst)))
+        return channel_delay_matrix(self.plan.num_partitions, channels)
 
     # -- lifecycle --------------------------------------------------------
 
@@ -702,6 +928,7 @@ class ParallelCloud:
                 "vectorized": self.vectorized,
                 "train_batch": self.train_batch,
                 "queue_factory": self.queue_factory,
+                "partition_of": self._partition_of,
             }
             for index in range(self.plan.num_partitions)
         ]
@@ -713,7 +940,11 @@ class ParallelCloud:
         return _ProcessSession(self._payloads())
 
     def execute(
-        self, session, until: float, sample_interval: float = 1.0
+        self,
+        session,
+        until: float,
+        sample_interval: float = 1.0,
+        record_queues: bool = False,
     ) -> RunResult:
         """Drive the window barrier loop on a started session and merge."""
         if until <= 0:
@@ -723,41 +954,152 @@ class ParallelCloud:
                 f"sample interval must be positive, got {sample_interval}"
             )
         num = self.plan.num_partitions
-        session.schedule(until, sample_interval)
-        pending: List[List[Tuple]] = [[] for _ in range(num)]
-        now = 0.0
-        while now < until:
-            t_next = min(until, now + self.window)
-            inboxes = []
-            for queued in pending:
-                queued.sort()
-                inboxes.append([message for _key, message in queued])
-            outboxes = session.step(t_next, inboxes)
-            pending = [[] for _ in range(num)]
-            for src_index, outbox in enumerate(outboxes):
-                for entry in outbox:
-                    if entry[0] == "pkt":
-                        _tag, deliver, seq, dst_name, state = entry
-                        message = ("pkt", deliver, dst_name, state)
+        self.barriers = 0
+        self.rounds = 0
+        self.skips = 0
+        #: Per-partition logical clock: everything strictly before it has
+        #: executed (or provably cannot exist).
+        clock = [0.0] * num
+        #: Cached lookahead promises; ``known[j]`` distinguishes "never
+        #: heard from j" from "j reported an empty calendar" (inf).
+        peek = [0.0] * num
+        known = [False] * num
+        sched_pending = [True] * num
+        #: Undelivered batches per destination: ``(src_index, payload)``.
+        pending: List[List[Tuple[int, Tuple]]] = [[] for _ in range(num)]
+        pending_min = [math.inf] * num
+        sched = (until, sample_interval, record_queues)
+
+        def make_request(j: int, t_next: float) -> Tuple:
+            if pending_min[j] < clock[j]:  # pragma: no cover - protocol invariant
+                raise SimulationError(
+                    f"pdes window protocol violated: message for partition "
+                    f"{j} at t={pending_min[j]} behind its clock {clock[j]}"
+                )
+            batches = pending[j]
+            pending[j] = []
+            pending_min[j] = math.inf
+            request = (j, t_next, batches, sched if sched_pending[j] else None)
+            sched_pending[j] = False
+            return request
+
+        def absorb(j: int, t_next: float, result: Tuple) -> None:
+            out, promise = result
+            clock[j] = t_next
+            known[j] = True
+            peek[j] = math.inf if promise is None else promise
+            self.barriers += 1
+            for dst, payload in out.items():
+                pending[dst].append((j, payload))
+                if payload[1] < pending_min[dst]:
+                    pending_min[dst] = payload[1]
+
+        def can_skip(j: int, t_next: float) -> bool:
+            """No round-trip needed: nothing to inject and the cached
+            promise proves the partition is idle through ``t_next``."""
+            return (
+                not pending[j]
+                and not sched_pending[j]
+                and known[j]
+                and peek[j] > t_next
+            )
+
+        if not self.adaptive:
+            # Static lock-step: every partition runs every window of
+            # width ``self.window`` — the PR-8 protocol over the fused
+            # wire format.
+            now = 0.0
+            while now < until:
+                t_next = min(until, now + self.window)
+                self.rounds += 1
+                requests = [make_request(j, t_next) for j in range(num)]
+                results = session.windows(requests)
+                for j in range(num):
+                    absorb(j, t_next, results[j])
+                now = t_next
+        else:
+            closure = self._lookahead
+
+            def bounds() -> List[float]:
+                # eff[i]: the earliest time partition i can act — its
+                # own next event, or an undelivered message bound for it.
+                eff = [
+                    min(
+                        peek[i] if known[i] else clock[i],
+                        pending_min[i],
+                    )
+                    for i in range(num)
+                ]
+                return [
+                    min(
+                        until,
+                        min(eff[i] + closure[i][j] for i in range(num)),
+                    )
+                    for j in range(num)
+                ]
+
+            while min(clock) < until:
+                self.rounds += 1
+                t_next = bounds()
+                if self.mode == "inline":
+                    # Gauss–Seidel: one partition per round, lowest clock
+                    # first, so every later bound sees this step's fresh
+                    # promise — lookahead compounds across the sweep.
+                    due = [j for j in range(num) if t_next[j] > clock[j]]
+                    if not due:  # pragma: no cover - progress invariant
+                        raise SimulationError(
+                            "pdes adaptive window deadlock: no partition "
+                            "can advance"
+                        )
+                    j = min(due, key=lambda j: (clock[j], j))
+                    if can_skip(j, t_next[j]):
+                        clock[j] = t_next[j]
+                        self.skips += 1
                     else:
-                        _tag, deliver, seq, dst_name, kind, state = entry
-                        message = ("ctl", deliver, dst_name, kind, state)
-                    # Sort key fixes injection order across modes and
-                    # runs: time, then source partition, then emission
-                    # order within it.
-                    pending[self._partition_of[dst_name]].append(
-                        ((deliver, src_index, seq), message)
-                    )
-            now = t_next
-        for queued in pending:
-            for (deliver, _src, _seq), _message in queued:
-                if deliver <= until:  # pragma: no cover - protocol invariant
-                    raise SimulationError(
-                        f"pdes window protocol violated: message for "
-                        f"t={deliver} left undelivered at horizon {until}"
-                    )
+                        tn = t_next[j]
+                        results = session.windows([make_request(j, tn)])
+                        absorb(j, tn, results[j])
+                else:
+                    # Jacobi: every due partition steps concurrently —
+                    # bounds are computed once from the pre-round state,
+                    # so the windows are independent and run in parallel.
+                    requests = []
+                    for j in range(num):
+                        if t_next[j] <= clock[j]:
+                            continue
+                        if can_skip(j, t_next[j]):
+                            clock[j] = t_next[j]
+                            self.skips += 1
+                            continue
+                        requests.append(make_request(j, t_next[j]))
+                    if not requests:
+                        continue
+                    results = session.windows(requests)
+                    for j, tn, _batches, _sched in requests:
+                        absorb(j, tn, results[j])
+
+        # Horizon flush: messages timed exactly at ``until`` still run
+        # in the serial schedule (run(until) executes events at until),
+        # so partitions holding one get a zero-width window.  Anything
+        # earlier is a protocol violation; anything later is in flight
+        # past the horizon and is dropped, exactly like the serial run
+        # drops packets still on the wire at ``until``.
+        flush = []
+        for j in range(num):
+            if pending_min[j] < until:  # pragma: no cover - protocol invariant
+                raise SimulationError(
+                    f"pdes window protocol violated: message for "
+                    f"t={pending_min[j]} left undelivered at horizon {until}"
+                )
+            if pending[j] and pending_min[j] == until:
+                flush.append(make_request(j, until))
+        if flush:
+            results = session.windows(flush)
+            for j, tn, _batches, _sched in flush:
+                absorb(j, tn, results[j])
+
         fragments = session.finish()
-        return self._merge(fragments, until)
+        return self._merge(fragments, until, record_queues)
 
     def run(
         self,
@@ -766,15 +1108,11 @@ class ParallelCloud:
         record_queues: bool = False,
     ) -> RunResult:
         """Start, execute and merge in one step (the serial-shaped API)."""
-        if record_queues:
-            raise ConfigurationError(
-                "partitioned runs do not support record_queues (per-link "
-                "queue series live in worker processes); run serially to "
-                "record queue occupancy"
-            )
         session = self.start()
         try:
-            return self.execute(session, until, sample_interval)
+            return self.execute(
+                session, until, sample_interval, record_queues=record_queues
+            )
         finally:
             session.close()
 
@@ -788,12 +1126,16 @@ class ParallelCloud:
             series.append(time, value)
         return series
 
-    def _merge(self, fragments: List[Dict], until: float) -> RunResult:
+    def _merge(
+        self, fragments: List[Dict], until: float, record_queues: bool = False
+    ) -> RunResult:
         """Assemble per-partition fragments into one serial-shaped result.
 
         Rate series come from each flow's ingress partition, delivery
-        accounting from its egress partition, and paths/capacities from
-        the coordinator's own shadow graph (identical to every worker's).
+        accounting from its egress partition, queue series from whichever
+        partition hosts each link's sending side, and paths/capacities
+        from the coordinator's own shadow graph (identical to every
+        worker's).
         """
         shadow = ShadowGraph(self.spec, self.flows)
         records: Dict[int, FlowRecord] = {}
@@ -821,6 +1163,12 @@ class ParallelCloud:
             if ingress.get("has_mux") and "micro" in egress:
                 record.micro_delivered = egress["micro"]
             records[fid] = record
+        queue_series: Optional[Dict[str, Series]] = None
+        if record_queues:
+            queue_series = {}
+            for fragment in fragments:
+                for name, payload in fragment.get("queues", {}).items():
+                    queue_series[name] = self._series(f"queue:{name}", payload)
         return RunResult(
             scheme=self.scheme,
             duration=until,
@@ -828,4 +1176,5 @@ class ParallelCloud:
             flows=records,
             total_drops=sum(fragment["drops"] for fragment in fragments),
             seed=self.seed,
+            queue_series=queue_series,
         )

@@ -568,11 +568,23 @@ class Simulator:
         the clock lands on ``until`` even when idle — but the window
         bound is mandatory and must not lie in the past, so a driver bug
         cannot silently drain a partition to the end of time.
+
+        Empty windows are O(1): with adaptive lookahead most barriers
+        land between a partition's events, so the common case is "no
+        live event at or before ``until``" — detected by a head peek and
+        answered by bumping the clock without entering the run loop.
         """
         if until < self.now:
             raise SimulationError(
                 f"cannot run a window into the past (until={until} < now={self.now})"
             )
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        head = self.peek_time()
+        if head is None or head > until:
+            if until > self.now:
+                self.now = until
+            return
         self.run(until=until)
 
     def inject(self, time: float, fn: Callable[..., None], *args: Any) -> None:

@@ -371,6 +371,10 @@ class Link:
         into scalar members here."""
         if packet.count != 1:
             return self._send_split(packet, self._send_queued)
+        return self._send_via_queue(packet)
+
+    def _send_via_queue(self, packet: Packet) -> bool:
+        """Push through the discipline and kick the transmitter."""
         now = self.sim.now
         if not self.queue.push(packet, now):
             for listener in self._drop_listeners:
@@ -520,12 +524,20 @@ class BoundaryLink(Link):
     capture point.  The queued path produces identical timestamps, stats
     and drops — only the local event count differs.
 
+    :class:`~repro.sim.packet.PacketTrain` carriers cross the cut whole
+    when the underlying queue is a plain FIFO (``_train_whole``, captured
+    before the bypass flag is cleared) — exactly the cases where the
+    serial link would have kept them whole — and split to scalar members
+    otherwise, matching the serial per-packet disciplines.  The wire
+    format serializes the train fields, so the far side reconstructs the
+    identical carrier.
+
     ``delivered_data``/``delivered_control`` count at *emission* rather
     than delivery, so the final in-flight window may count a packet the
     horizon then cuts off; both counters are informational only.
     """
 
-    __slots__ = ("_emit",)
+    __slots__ = ("_emit", "_train_whole")
 
     def __init__(
         self,
@@ -548,6 +560,9 @@ class BoundaryLink(Link):
                 "(the conservative window has no lookahead without one)"
             )
         self._emit = emit
+        # Trains may stay whole only where the serial link would keep
+        # them whole: remember the plain-FIFO verdict before clearing it.
+        self._train_whole = self._plain_fifo
         # Force the bypass-free path: messages are captured in the pop
         # loop, and the plain-FIFO shortcuts would skip it.  This also
         # keeps Corelite's epoch parking off this link (parking is gated
@@ -561,6 +576,14 @@ class BoundaryLink(Link):
             f"boundary link {self.name!r} delivers in another partition; "
             "delivery taps cannot observe it"
         )
+
+    def _send_queued(self, packet: Packet) -> bool:
+        """Queued send that keeps trains whole over a plain FIFO — the
+        serial fast path would not have split them either.  Arrival taps
+        (``_send_tapped``) still split in front, matching serial links."""
+        if packet.count != 1 and not self._train_whole:
+            return self._send_split(packet, self._send_queued)
+        return self._send_via_queue(packet)
 
     def _transmit_from(self, start: float) -> None:
         """Pop and serialize as the base link does, emitting instead of
@@ -583,6 +606,8 @@ class BoundaryLink(Link):
             if len(queue) and not self._wake_pending:
                 self._wake_pending = True
                 self.sim.schedule_at_fast(free_at, self._wake)
+            if packet.count != 1:
+                packet.member_lags = _member_lags(packet.count, self.bandwidth_pps)
             self.delivered_data += packet.count
             emit(free_at + prop, packet)
             return

@@ -284,3 +284,72 @@ class TestPeriodicTask:
     def test_negative_first_delay_raises(self, sim):
         with pytest.raises(SimulationError):
             sim.every(1.0, lambda: None, first_delay=-1.0)
+
+
+class TestWindowInjectEdgeCases:
+    """run_window/inject corner cases the PDES coordinator leans on."""
+
+    @pytest.fixture
+    def sim(self):
+        return Simulator()
+
+    def test_inject_exactly_at_the_barrier_boundary(self, sim):
+        # A cross-partition message can be timed exactly at the clock the
+        # previous window landed on (deliver == t_next): it must inject
+        # cleanly and run in the next window.
+        fired = []
+        sim.run_window(1.0)
+        sim.inject(1.0, fired.append, "boundary")
+        sim.inject(1.5, fired.append, "later")
+        sim.run_window(1.0)  # zero-width window runs the boundary event
+        assert fired == ["boundary"]
+        assert sim.now == 1.0
+        sim.run_window(2.0)
+        assert fired == ["boundary", "later"]
+
+    def test_inject_beyond_the_calendar_horizon(self, sim):
+        # Populate past the calendar activation floor so near events live
+        # in the calendar tier, then inject far beyond its horizon (the
+        # heap tier) and in between: dispatch order must be global.
+        fired = []
+        for index in range(400):
+            sim.schedule_at(0.001 * index, fired.append, ("cal", index))
+        sim.inject(10.0, fired.append, ("far", 0))
+        sim.inject(0.0005, fired.append, ("near", 0))
+        sim.run(until=20.0)
+        assert fired[0] == ("cal", 0)
+        assert fired[1] == ("near", 0)
+        assert fired[-1] == ("far", 0)
+        assert len(fired) == 402
+        assert sim.now == 20.0
+
+    def test_past_inject_raises_cleanly_and_leaves_state_usable(self, sim):
+        fired = []
+        sim.run_window(2.0)
+        with pytest.raises(SimulationError, match="past"):
+            sim.inject(1.0, fired.append, "no")
+        # The failed inject must not have half-registered anything.
+        assert sim.peek_time() is None
+        sim.inject(2.5, fired.append, "yes")
+        sim.run_window(3.0)
+        assert fired == ["yes"]
+
+    def test_run_window_after_a_completed_run(self, sim):
+        fired = []
+        sim.schedule_at(0.5, fired.append, "a")
+        sim.run(until=4.0)
+        assert sim.now == 4.0
+        sim.inject(4.5, fired.append, "b")
+        sim.run_window(5.0)
+        assert fired == ["a", "b"]
+        assert sim.now == 5.0
+        with pytest.raises(SimulationError, match="past"):
+            sim.run_window(4.5)
+
+    def test_empty_window_fast_path_advances_the_clock(self, sim):
+        # No live event at or before the barrier: the window is O(1) and
+        # only moves the clock; the far event stays queued.
+        sim.schedule_at(9.0, lambda: None)
+        sim.run_window(3.0)
+        assert sim.now == 3.0
+        assert sim.peek_time() == 9.0

@@ -17,7 +17,13 @@ import pytest
 
 from repro.errors import ConfigurationError, SimulationError, TopologyError
 from repro.experiments.builder import CloudBuilder
-from repro.experiments.partition import PartitionPlan, ShadowGraph, auto_partition
+from repro.experiments.partition import (
+    PartitionPlan,
+    ShadowGraph,
+    auto_partition,
+    channel_delay_matrix,
+    lookahead_closure,
+)
 from repro.experiments.pdes import ParallelCloud
 from repro.experiments.scenarios import mesh_flows, parking_lot_flows
 from repro.experiments.topospec import FlowPathSpec, SourceSpec, TopologySpec
@@ -71,18 +77,31 @@ def rich_flows():
     ]
 
 
-def run_pair(spec, flows, scheme, until, *, partitions=2, mode="inline", plan=None, **kw):
+def run_pair(
+    spec,
+    flows,
+    scheme,
+    until,
+    *,
+    partitions=2,
+    mode="inline",
+    plan=None,
+    adaptive=True,
+    record_queues=False,
+    **kw,
+):
     def builder():
         b = CloudBuilder(spec, scheme=scheme, seed=7, **kw)
         b.add_flows(flows)
         return b
 
-    serial = builder().run(until=until)
+    serial = builder().run(until=until, record_queues=record_queues)
     b = builder()
     b.partitions = partitions
     b.partition_plan = plan
     b.pdes_mode = mode
-    parallel = b.run(until=until)
+    b.pdes_adaptive = adaptive
+    parallel = b.run(until=until, record_queues=record_queues)
     return serial, parallel
 
 
@@ -340,6 +359,157 @@ class TestFourPartitionStatisticalPins:
         assert_identical(serial, parallel)
 
 
+# -- adaptive lookahead --------------------------------------------------------
+
+
+class TestLookaheadClosure:
+    def test_channel_delay_matrix_keeps_the_minimum(self):
+        matrix = channel_delay_matrix(
+            2, [(0, 1, 0.04), (0, 1, 0.2), (1, 0, 0.08), (0, 0, 0.01)]
+        )
+        assert matrix[0][1] == pytest.approx(0.04)
+        assert matrix[1][0] == pytest.approx(0.08)
+        # Same-partition channels never constrain the barrier.
+        assert matrix[0][0] == math.inf
+
+    def test_channel_delay_matrix_rejects_zero_delay(self):
+        with pytest.raises(ConfigurationError, match="non-positive"):
+            channel_delay_matrix(2, [(0, 1, 0.0)])
+
+    def test_closure_tightens_via_relay_and_keeps_cycles(self):
+        # 0->1 direct is slow (1.0) but via 2 costs 0.1+0.1; the diagonal
+        # is the min cycle weight, not zero (>=1-hop walks only).
+        matrix = channel_delay_matrix(
+            3, [(0, 1, 1.0), (0, 2, 0.1), (2, 1, 0.1), (1, 0, 0.3)]
+        )
+        closed = lookahead_closure(matrix)
+        assert closed[0][1] == pytest.approx(0.2)
+        assert closed[0][0] == pytest.approx(0.5)  # 0->2->1->0
+        assert closed[2][2] == pytest.approx(0.5)  # 2->1->0->2
+        assert closed[1][1] == pytest.approx(0.5)  # 1->0->2->1
+
+    def test_closure_never_undercuts_the_static_window(self):
+        # Every adaptive bound is a >=1-hop walk over channels, each of
+        # which crosses at least one cut link, so no entry of the
+        # closure can be below the plan's static window.
+        spec = TopologySpec.chain(4)
+        cloud = ParallelCloud(
+            spec, "corelite", chain_flows(), partitions=2, mode="inline"
+        )
+        closed = cloud._lookahead
+        assert min(min(row) for row in closed) >= cloud.window
+
+
+class TestAdaptiveWindows:
+    """The PR-10 tentpole: dynamic barriers stay byte-identical and cut
+    the barrier count by well over the acceptance floor of 3x."""
+
+    def test_static_mode_still_matches_serial_exactly(self):
+        serial, parallel = run_pair(
+            TopologySpec.chain(4), chain_flows(), "corelite", 20.0,
+            adaptive=False,
+        )
+        assert_identical(serial, parallel)
+
+    def test_adaptive_four_partition_chain_matches_serial_exactly(self):
+        serial, parallel = run_pair(
+            TopologySpec.chain(4), chain_flows(), "corelite", 30.0,
+            partitions=4,
+        )
+        assert_identical(serial, parallel)
+
+    def test_adaptive_process_mode_matches_serial_exactly(self):
+        serial, parallel = run_pair(
+            TopologySpec.chain(4), chain_flows(), "corelite", 20.0,
+            mode="process",
+        )
+        assert_identical(serial, parallel)
+
+    @staticmethod
+    def _scaled_run(adaptive):
+        from repro.perf import _pdes_scaling_builder
+
+        builder = _pdes_scaling_builder(64, 2)
+        builder.pdes_mode = "inline"
+        builder.pdes_adaptive = adaptive
+        parallel = builder.build_parallel()
+        session = parallel.start()
+        try:
+            result = parallel.execute(session, 16.0, sample_interval=1.0)
+        finally:
+            session.close()
+        return parallel, result
+
+    def test_barrier_count_drops_at_least_3x_on_the_chain_rung(self):
+        static, static_result = self._scaled_run(False)
+        adaptive, adaptive_result = self._scaled_run(True)
+        assert static.barriers >= 3 * adaptive.barriers
+        # Same workload, same answer: the windows only chunk execution.
+        for fid, record in static_result.flows.items():
+            other = adaptive_result.flows[fid]
+            assert record.delivered == other.delivered, fid
+            assert list(record.rate_series) == list(other.rate_series), fid
+
+    def test_trains_cross_cut_links_whole(self):
+        # PR-9 composition: with a plain-FIFO cut the train carrier must
+        # survive the boundary intact, and the run stays byte-identical
+        # (the wire format round-trips count/markers/micro ids/lags).
+        serial, parallel = run_pair(
+            TopologySpec.chain(4), chain_flows(), "corelite", 20.0,
+            train_batch=8,
+        )
+        assert_identical(serial, parallel)
+        assert serial.total_delivered() > 0
+
+    def test_trains_cross_cut_links_in_process_mode(self):
+        serial, parallel = run_pair(
+            TopologySpec.chain(4), chain_flows(), "corelite", 15.0,
+            mode="process", train_batch=8,
+        )
+        assert_identical(serial, parallel)
+
+    def test_idle_partitions_skip_round_trips(self):
+        # Flows quiesce after 1s; FIFO partitions then hold no periodic
+        # control timers, so the coordinator's cached promises let it
+        # bump clocks without touching the workers.
+        def builder():
+            b = CloudBuilder(TopologySpec.chain(4), scheme="fifo", seed=3)
+            b.add_flows(
+                [
+                    FlowPathSpec(
+                        1, ingress_core="C1", egress_core="C4",
+                        schedule=((0.0, 1.0),),
+                    ),
+                    FlowPathSpec(
+                        2, ingress_core="C4", egress_core="C1",
+                        schedule=((0.0, 1.0),),
+                    ),
+                ]
+            )
+            return b
+
+        serial = builder().run(until=8.0, sample_interval=10.0)
+        b = builder()
+        b.partitions = 2
+        b.pdes_mode = "inline"
+        parallel_cloud = b.build_parallel()
+        session = parallel_cloud.start()
+        try:
+            parallel = parallel_cloud.execute(session, 8.0, sample_interval=10.0)
+        finally:
+            session.close()
+        assert parallel_cloud.skips > 0
+        assert_identical(serial, parallel)
+
+    def test_record_queues_in_process_mode_matches_serial(self):
+        serial, parallel = run_pair(
+            TopologySpec.chain(4), chain_flows(), "corelite", 15.0,
+            mode="process", record_queues=True,
+        )
+        for name, series in serial.queue_series.items():
+            assert list(series) == list(parallel.queue_series[name]), name
+
+
 # -- v1 restrictions and API guards --------------------------------------------
 
 
@@ -365,9 +535,17 @@ class TestRestrictions:
         with pytest.raises(ConfigurationError, match="pdes_mode"):
             CloudBuilder(TopologySpec.chain(4), pdes_mode="thread")
 
-    def test_record_queues_rejected(self):
-        with pytest.raises(ConfigurationError, match="record_queues"):
-            self.make().run(until=5.0, record_queues=True)
+    def test_record_queues_matches_serial_exactly(self):
+        # Formerly a v1 rejection: per-partition queue sampling now runs
+        # at the serial instants and the merge reassembles the full map.
+        serial, parallel = run_pair(
+            TopologySpec.chain(4), chain_flows(), "corelite", 20.0,
+            record_queues=True,
+        )
+        assert set(serial.queue_series) == set(parallel.queue_series)
+        assert serial.queue_series  # the chain has core-core links
+        for name, series in serial.queue_series.items():
+            assert list(series) == list(parallel.queue_series[name]), name
 
     def test_dynamics_events_rejected(self):
         from repro.sim.dynamics import NetworkEvent

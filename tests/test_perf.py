@@ -2,6 +2,7 @@
 and the ``corelite bench`` CLI subcommand."""
 
 import json
+import os
 
 import pytest
 
@@ -110,6 +111,41 @@ def test_diff_reports_flags_regressions_and_improvements():
     assert "REGRESSION" in table and "+50.0%" in table
 
 
+def test_diff_reports_warns_on_pdes_core_count_mismatch():
+    rates = {"flow_scaling_corelite_1024_pdes_w2_adaptive": 100.0}
+    baseline = _payload(rates)
+    current = _payload(rates)
+    baseline["cpu_count"] = 8
+    current["cpu_count"] = 1
+    messages = []
+    diff_reports(current, baseline, warn=messages.append)
+    assert any("core counts" in message for message in messages)
+    # Same cores (or non-pdes rungs only): no warning.
+    messages.clear()
+    diff_reports(baseline, baseline, warn=messages.append)
+    assert not messages
+    plain_base = _payload({"event_loop": 100.0})
+    plain_base["cpu_count"] = 8
+    plain_cur = _payload({"event_loop": 100.0})
+    plain_cur["cpu_count"] = 1
+    messages.clear()
+    diff_reports(plain_cur, plain_base, warn=messages.append)
+    assert not messages
+
+
+def test_report_records_core_counts():
+    from repro.perf import BenchReport
+
+    report = BenchReport(
+        label="x", quick=True, benches={}, wall_seconds=0.0,
+        peak_rss_kb=1, events_per_sec=0.0,
+    )
+    payload = report.as_dict()
+    assert payload["cpu_count"] == os.cpu_count()
+    if hasattr(os, "sched_getaffinity"):
+        assert payload["cpu_affinity"] == len(os.sched_getaffinity(0))
+
+
 def test_diff_reports_validates_threshold():
     with pytest.raises(ConfigurationError):
         diff_reports(_payload({}), _payload({}), threshold=0.0)
@@ -201,6 +237,24 @@ def test_cli_bench_writes_report_and_gates(tmp_path, capsys):
                 str(fake),
             ]
         )
+
+
+def test_cli_bench_diff_mode_compares_existing_reports(tmp_path, capsys):
+    current = dict(_payload({"a": 150.0, "b": 40.0}), label="cur", quick=False)
+    baseline = dict(_payload({"a": 100.0, "b": 100.0}), label="base", quick=False)
+    current["cpu_count"] = 1
+    baseline["cpu_count"] = 8
+    cur_path = tmp_path / "BENCH_cur.json"
+    base_path = tmp_path / "BENCH_base.json"
+    cur_path.write_text(json.dumps(current))
+    base_path.write_text(json.dumps(baseline))
+    # Offline diff: no suite run, prints the table, never gates.
+    _run_cli(["bench", "--diff", str(cur_path), str(base_path)])
+    captured = capsys.readouterr()
+    assert "REGRESSION" in captured.out and "+50.0%" in captured.out
+    assert "== corelite bench" not in captured.out  # suite did not run
+    # No pdes rungs in these payloads, so differing cpu_counts are quiet.
+    assert "core counts" not in captured.out
 
 
 def test_cli_bench_profile_writes_dump(tmp_path):
